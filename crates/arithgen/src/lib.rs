@@ -1,0 +1,49 @@
+//! Structural generators for the paper's synthetic benchmark.
+//!
+//! The DATE 2010 evaluation uses a synthetic circuit of **nine arithmetic
+//! units of various sizes** (~12 000 standard cells, 1 GHz) so that hotspot
+//! size and position can be controlled through the workload. This crate
+//! generates that circuit: gate-level, library-mapped implementations of
+//!
+//! 1. a ripple-carry adder ([`ripple_carry_adder`]),
+//! 2. a carry-lookahead adder ([`carry_lookahead_adder`]),
+//! 3. a carry-select adder ([`carry_select_adder`]),
+//! 4. an array (row-ordered carry-save) multiplier ([`array_multiplier`]),
+//! 5. a Wallace-tree multiplier ([`wallace_multiplier`]),
+//! 6. a radix-4 Booth multiplier ([`booth_multiplier`]),
+//! 7. a multiply-accumulate unit ([`mac_unit`]),
+//! 8. a 4-function ALU ([`alu_unit`]),
+//! 9. a restoring array divider ([`array_divider`]),
+//!
+//! each wrapped in input/output registers so units are independent
+//! synchronous islands, plus [`build_benchmark`] which composes all nine
+//! into one design.
+//!
+//! # Examples
+//!
+//! ```
+//! use arithgen::{build_benchmark, BenchmarkConfig};
+//!
+//! # fn main() -> Result<(), netlist::NetlistError> {
+//! let nl = build_benchmark(&BenchmarkConfig::small())?;
+//! assert_eq!(nl.unit_count(), 9);
+//! # Ok(())
+//! # }
+//! ```
+
+mod adders;
+mod alu;
+mod benchmark;
+mod divider;
+mod mac;
+mod multipliers;
+mod unit;
+mod util;
+
+pub use adders::{carry_lookahead_adder, carry_select_adder, ripple_carry_adder};
+pub use alu::alu_unit;
+pub use benchmark::{build_benchmark, BenchmarkConfig, UnitRole};
+pub use divider::array_divider;
+pub use mac::mac_unit;
+pub use multipliers::{array_multiplier, booth_multiplier, wallace_multiplier};
+pub use unit::GeneratedUnit;

@@ -1,0 +1,29 @@
+use netlist::{NetId, UnitId};
+
+/// Handle returned by every unit generator: the unit id plus the port nets
+/// a workload or testbench drives and observes.
+///
+/// Bus nets are LSB-first. The exact meaning of each bus is documented on
+/// the generator that produced the handle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedUnit {
+    /// The netlist unit holding all generated cells.
+    pub unit: UnitId,
+    /// Primary-input port nets, LSB-first per bus, buses concatenated in
+    /// the generator's documented order (typically `a` then `b`).
+    pub inputs: Vec<NetId>,
+    /// Primary-output nets (post output-register), LSB-first.
+    pub outputs: Vec<NetId>,
+}
+
+impl GeneratedUnit {
+    /// Total number of primary input bits.
+    pub fn input_width(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Total number of primary output bits.
+    pub fn output_width(&self) -> usize {
+        self.outputs.len()
+    }
+}

@@ -1,0 +1,52 @@
+//! **FIG5** — regenerates the paper's Fig. 5: the power profile (left) and
+//! thermal profile (right) of test set 1, as 40×40 matrices over the die.
+//!
+//! The paper plots gnuplot heat maps; this harness prints the same
+//! matrices (gnuplot `matrix` format) plus ASCII renderings, and verifies
+//! the headline property: "there is significant correlation between highly
+//! power consuming area and thermal hotspots".
+
+use coolplace_bench::banner;
+use postplace::{Flow, FlowConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("FIG5: power and thermal profiles of test set 1 (four scattered hotspots)");
+    let flow = Flow::new(FlowConfig::scattered_small())?;
+    let (power, thermal) = flow.baseline_maps()?;
+
+    println!(
+        "die: {} | total power {:.3} mW | peak rise {:.2} K | gradient {:.3} K",
+        thermal.die(),
+        power.sum() * 1e3,
+        thermal.peak_rise(),
+        thermal.gradient()
+    );
+
+    banner("power profile (W per thermal cell, gnuplot matrix rows)");
+    for iy in 0..power.ny() {
+        let row: Vec<String> = (0..power.nx())
+            .map(|ix| format!("{:.3e}", power.get(ix, iy)))
+            .collect();
+        println!("{}", row.join(" "));
+    }
+
+    banner("thermal profile (deg C, gnuplot matrix rows)");
+    print!("{}", thermal.to_matrix_string());
+
+    banner("thermal profile (ASCII, hottest = @)");
+    print!("{}", thermal.to_ascii());
+
+    // Correlation check: Pearson r between the two maps.
+    let p: Vec<f64> = power.values().to_vec();
+    let t: Vec<f64> = thermal.grid().values().to_vec();
+    let n = p.len() as f64;
+    let (mp, mt) = (p.iter().sum::<f64>() / n, t.iter().sum::<f64>() / n);
+    let cov: f64 = p.iter().zip(&t).map(|(a, b)| (a - mp) * (b - mt)).sum();
+    let vp: f64 = p.iter().map(|a| (a - mp).powi(2)).sum();
+    let vt: f64 = t.iter().map(|b| (b - mt).powi(2)).sum();
+    let r = cov / (vp.sqrt() * vt.sqrt());
+    banner("power/thermal correlation");
+    println!("Pearson r = {r:.3} (paper: \"significant correlation\")");
+    assert!(r > 0.5, "power and thermal profiles should correlate");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! **PERF** — Criterion benchmarks of the substrates: thermal solve,
+//! placement, logic simulation and the post-placement transforms.
+
+use arithgen::{build_benchmark, BenchmarkConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use geom::Grid2d;
+use logicsim::{Simulator, Workload};
+use placement::{Placer, PlacerConfig};
+use postplace::{Flow, FlowConfig, Strategy};
+use thermalsim::{ThermalConfig, ThermalSimulator};
+
+fn bench_thermal_solve(c: &mut Criterion) {
+    let die = geom::Rect::new(0.0, 0.0, 373.5, 375.3);
+    let mut group = c.benchmark_group("thermal_solve");
+    group.sample_size(10);
+    for n in [20usize, 40] {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(n, n));
+        let mut power = Grid2d::new(n, n, die, 0.0);
+        for (i, v) in power.values_mut().iter_mut().enumerate() {
+            *v = 1e-6 * (1.0 + (i % 7) as f64);
+        }
+        group.bench_function(format!("{n}x{n}x9"), |b| {
+            b.iter(|| sim.solve(die, &power).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let nl = build_benchmark(&BenchmarkConfig::paper()).expect("benchmark");
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    group.bench_function("place_12k_cells", |b| {
+        b.iter(|| {
+            Placer::new(PlacerConfig::default())
+                .place(&nl)
+                .expect("placement")
+        });
+    });
+    group.finish();
+}
+
+fn bench_logic_sim(c: &mut Criterion) {
+    let nl = build_benchmark(&BenchmarkConfig::paper()).expect("benchmark");
+    let workload = Workload::uniform(&nl, 0.4);
+    let mut group = c.benchmark_group("logic_sim");
+    group.sample_size(10);
+    group.bench_function("256_cycles_12k_cells", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&nl);
+            sim.run_workload(&workload, 256, 7);
+            sim.activity().mean_activity()
+        });
+    });
+    group.finish();
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let flow = Flow::new(FlowConfig::scattered_small().fast()).expect("flow");
+    let rows = (0.16 * flow.base_placement().floorplan.num_rows() as f64).round() as usize;
+    let mut group = c.benchmark_group("transforms");
+    group.sample_size(10);
+    group.bench_function("eri_flow_run", |b| {
+        b.iter(|| flow.run(Strategy::EmptyRowInsertion { rows }).expect("eri"));
+    });
+    group.bench_function("hw_flow_run", |b| {
+        b.iter(|| {
+            flow.run(Strategy::HotspotWrapper {
+                area_overhead: 0.16,
+            })
+            .expect("hw")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thermal_solve,
+    bench_placement,
+    bench_logic_sim,
+    bench_transforms
+);
+criterion_main!(benches);

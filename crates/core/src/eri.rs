@@ -1,0 +1,252 @@
+//! Empty Row Insertion (ERI).
+//!
+//! "In the area around a given hotspot, we insert an empty row between
+//! useful rows. This row of whitespace will be filled with dummy cells.
+//! In this way we increase the area only of the hotspot region." The die
+//! outline grows vertically by one row pitch per inserted row, exactly as
+//! in the paper's Table I (20 rows: 335×335 → 335×389 µm²).
+
+use netlist::Netlist;
+use placement::{fill_whitespace, Floorplan, Placement};
+use thermalsim::ThermalMap;
+
+use crate::{FlowError, Hotspot};
+
+/// What an ERI transformation did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EriReport {
+    /// Old-index row positions that received an empty row below them.
+    pub insertion_positions: Vec<usize>,
+    /// Resulting area overhead, as a fraction of the original core area.
+    pub area_overhead: f64,
+}
+
+/// Inserts `rows` empty rows interleaved with the hotspot rows and
+/// rebuilds the placement on the grown floorplan (cells move up rigidly;
+/// fillers are re-poured).
+///
+/// Insertion positions are the gaps between used rows, ranked by the
+/// temperature of the adjacent rows (from the hotspot bins of the thermal
+/// map): the hottest gaps receive empty rows first; once every gap of a
+/// hot band has one, further rows double up, widening the whitespace.
+///
+/// # Errors
+///
+/// Returns [`FlowError::BadStrategy`] when `rows == 0` or no hotspot was
+/// supplied.
+pub fn empty_row_insertion(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    placement: &Placement,
+    map: &ThermalMap,
+    hotspots: &[Hotspot],
+    rows: usize,
+) -> Result<(Floorplan, Placement, EriReport), FlowError> {
+    if rows == 0 {
+        return Err(FlowError::BadStrategy {
+            detail: "empty row insertion needs rows > 0".to_string(),
+        });
+    }
+    if hotspots.is_empty() {
+        return Err(FlowError::BadStrategy {
+            detail: "no hotspots to target; run detection first".to_string(),
+        });
+    }
+    let n_rows = floorplan.num_rows();
+    // Per-row heat score: the hottest hotspot bin overlapping the row.
+    let grid = map.grid();
+    let mut row_heat = vec![f64::NEG_INFINITY; n_rows];
+    let mut any = false;
+    for h in hotspots {
+        for &(bx, by) in &h.bins {
+            let bin = grid.bin_rect(bx, by);
+            let t = *grid.get(bx, by);
+            for (r, heat) in row_heat.iter_mut().enumerate() {
+                if floorplan.row_rect(r).intersects(&bin) {
+                    *heat = heat.max(t);
+                    any = true;
+                }
+            }
+        }
+    }
+    if !any {
+        return Err(FlowError::BadStrategy {
+            detail: "hotspots do not overlap any row".to_string(),
+        });
+    }
+    // Candidate gaps: below row p (p = 1..n_rows) plus below row 0 and
+    // above the top row; score = heat of adjacent rows.
+    let gap_score = |p: usize| -> f64 {
+        let below = if p > 0 {
+            row_heat[p - 1]
+        } else {
+            f64::NEG_INFINITY
+        };
+        let above = if p < n_rows {
+            row_heat[p]
+        } else {
+            f64::NEG_INFINITY
+        };
+        below.max(above)
+    };
+    let mut candidates: Vec<usize> = (0..=n_rows).filter(|&p| gap_score(p).is_finite()).collect();
+    candidates.sort_by(|&a, &b| gap_score(b).total_cmp(&gap_score(a)));
+    if candidates.is_empty() {
+        return Err(FlowError::BadStrategy {
+            detail: "no insertion candidates near the hotspots".to_string(),
+        });
+    }
+    let positions: Vec<usize> = (0..rows)
+        .map(|k| candidates[k % candidates.len()])
+        .collect();
+
+    let (new_fp, mapping) = floorplan.with_rows_inserted(&positions);
+    let mut new_placement = placement.remap_rows(&new_fp, &mapping);
+    fill_whitespace(netlist, &new_fp, &mut new_placement)?;
+    let area_overhead = new_fp.core().area() / floorplan.core().area() - 1.0;
+    Ok((
+        new_fp,
+        new_placement,
+        EriReport {
+            insertion_positions: positions,
+            area_overhead,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arithgen::{build_benchmark, BenchmarkConfig};
+    use geom::{Grid2d, Rect};
+    use placement::{validate, Placer, PlacerConfig};
+
+    /// A thermal map hot inside `hot` (38 °C) and cool elsewhere (30 °C).
+    fn fake_map(core: Rect, hot: Rect) -> ThermalMap {
+        let mut g = Grid2d::new(16, 16, core, 30.0);
+        for iy in 0..16 {
+            for ix in 0..16 {
+                if g.bin_rect(ix, iy).intersects(&hot) {
+                    *g.get_mut(ix, iy) = 38.0;
+                }
+            }
+        }
+        ThermalMap::new(g, 25.0)
+    }
+
+    fn fake_hotspot(map: &ThermalMap) -> Hotspot {
+        let grid = map.grid();
+        let bins: Vec<(usize, usize)> = grid
+            .iter()
+            .filter(|&(_, &t)| t > 34.0)
+            .map(|(b, _)| b)
+            .collect();
+        let mut bbox = grid.bin_rect(bins[0].0, bins[0].1);
+        for &(x, y) in &bins {
+            bbox = bbox.union(&grid.bin_rect(x, y));
+        }
+        Hotspot {
+            area_um2: bins.len() as f64 * grid.bin_width() * grid.bin_height(),
+            bins,
+            bbox,
+            peak_c: 38.0,
+        }
+    }
+
+    fn setup() -> (netlist::Netlist, placement::PlacementResult) {
+        let nl = build_benchmark(&BenchmarkConfig::small()).unwrap();
+        let placed = Placer::new(PlacerConfig::default()).place(&nl).unwrap();
+        (nl, placed)
+    }
+
+    #[test]
+    fn eri_grows_core_and_stays_legal() {
+        let (nl, base) = setup();
+        let core = base.floorplan.core();
+        let hot = Rect::new(
+            core.llx,
+            core.lly + core.height() * 0.3,
+            core.urx,
+            core.lly + core.height() * 0.5,
+        );
+        let map = fake_map(core, hot);
+        let hs = fake_hotspot(&map);
+        let (fp2, p2, report) =
+            empty_row_insertion(&nl, &base.floorplan, &base.placement, &map, &[hs], 8).unwrap();
+        assert_eq!(fp2.num_rows(), base.floorplan.num_rows() + 8);
+        assert!(validate(&nl, &fp2, &p2).is_empty(), "legal after ERI");
+        let expected = 8.0 / base.floorplan.num_rows() as f64;
+        assert!((report.area_overhead - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insertions_land_in_the_hot_band() {
+        let (nl, base) = setup();
+        let core = base.floorplan.core();
+        let hot = Rect::new(
+            core.llx,
+            core.lly + core.height() * 0.4,
+            core.urx,
+            core.lly + core.height() * 0.6,
+        );
+        let map = fake_map(core, hot);
+        let hs = fake_hotspot(&map);
+        let (_, _, report) =
+            empty_row_insertion(&nl, &base.floorplan, &base.placement, &map, &[hs], 4).unwrap();
+        let n = base.floorplan.num_rows() as f64;
+        for &p in &report.insertion_positions {
+            let frac = p as f64 / n;
+            assert!(
+                (0.3..=0.7).contains(&frac),
+                "insertion at {frac:.2} of the core is outside the hot band"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_only_move_upward_rigidly() {
+        let (nl, base) = setup();
+        let core = base.floorplan.core();
+        let hot = Rect::new(core.llx, core.lly, core.urx, core.lly + 12.0);
+        let map = fake_map(core, hot);
+        let hs = fake_hotspot(&map);
+        let (fp2, p2, _) =
+            empty_row_insertion(&nl, &base.floorplan, &base.placement, &map, &[hs], 3).unwrap();
+        for (id, _) in nl.cells() {
+            let before = base.placement.cell_rect(&nl, &base.floorplan, id).unwrap();
+            let after = p2.cell_rect(&nl, &fp2, id).unwrap();
+            assert_eq!(before.llx, after.llx, "no horizontal motion");
+            assert!(after.lly >= before.lly - 1e-9, "no downward motion");
+        }
+    }
+
+    #[test]
+    fn many_rows_double_up_in_the_band() {
+        let (nl, base) = setup();
+        let core = base.floorplan.core();
+        let hot = Rect::new(
+            core.llx,
+            core.lly + core.height() * 0.45,
+            core.urx,
+            core.lly + core.height() * 0.5,
+        );
+        let map = fake_map(core, hot);
+        let hs = fake_hotspot(&map);
+        let rows = base.floorplan.num_rows() / 2;
+        let (fp2, p2, _) =
+            empty_row_insertion(&nl, &base.floorplan, &base.placement, &map, &[hs], rows).unwrap();
+        assert_eq!(fp2.num_rows(), base.floorplan.num_rows() + rows);
+        assert!(validate(&nl, &fp2, &p2).is_empty());
+    }
+
+    #[test]
+    fn zero_rows_is_rejected() {
+        let (nl, base) = setup();
+        let core = base.floorplan.core();
+        let map = fake_map(core, Rect::new(0.0, 0.0, 10.0, 10.0));
+        let hs = fake_hotspot(&map);
+        assert!(
+            empty_row_insertion(&nl, &base.floorplan, &base.placement, &map, &[hs], 0).is_err()
+        );
+    }
+}

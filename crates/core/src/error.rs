@@ -1,0 +1,55 @@
+/// Errors surfaced by the end-to-end flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Benchmark generation / netlist validation failed.
+    Netlist(netlist::NetlistError),
+    /// Placement failed (e.g. utilization target infeasible).
+    Place(placement::PlaceError),
+    /// Thermal model construction or solve failed.
+    Thermal(thermalsim::ThermalError),
+    /// A strategy was given inconsistent parameters.
+    BadStrategy {
+        /// Human-readable explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Netlist(e) => write!(f, "netlist: {e}"),
+            FlowError::Place(e) => write!(f, "placement: {e}"),
+            FlowError::Thermal(e) => write!(f, "thermal: {e}"),
+            FlowError::BadStrategy { detail } => write!(f, "bad strategy: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Place(e) => Some(e),
+            FlowError::Thermal(e) => Some(e),
+            FlowError::BadStrategy { .. } => None,
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for FlowError {
+    fn from(e: netlist::NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+
+impl From<placement::PlaceError> for FlowError {
+    fn from(e: placement::PlaceError) -> Self {
+        FlowError::Place(e)
+    }
+}
+
+impl From<thermalsim::ThermalError> for FlowError {
+    fn from(e: thermalsim::ThermalError) -> Self {
+        FlowError::Thermal(e)
+    }
+}

@@ -1,0 +1,430 @@
+//! The end-to-end evaluation flow of the paper's Fig. 2: synthesis
+//! (benchmark generation) → logic simulation → power estimation →
+//! placement → thermal simulation → **area management** → re-analysis.
+
+use arithgen::{build_benchmark, BenchmarkConfig, UnitRole};
+use geom::Grid2d;
+use logicsim::{Activity, Simulator, Workload};
+use netlist::Netlist;
+use placement::{total_hpwl, Floorplan, Placement, PlacementResult, Placer, PlacerConfig};
+use powerest::{estimate_power, power_map, PowerConfig, PowerReport};
+use thermalsim::{ThermalConfig, ThermalMap, ThermalSimulator};
+use timan::{analyze, TimingConfig, TimingReport};
+
+use crate::{
+    detect_hotspots, empty_row_insertion, hotspot_wrapper, uniform_slack, FlowError, Hotspot,
+    HotspotConfig, Strategy, WrapperConfig,
+};
+
+/// Which units a workload exercises, and how hard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// The units receiving random input transitions.
+    pub active: Vec<UnitRole>,
+    /// Per-cycle, per-bit input flip probability for active units.
+    pub toggle_probability: f64,
+}
+
+/// Complete configuration of one paper experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Benchmark netlist widths.
+    pub benchmark: BenchmarkConfig,
+    /// The workload controlling hotspot size and position.
+    pub workload: WorkloadSpec,
+    /// Cycles simulated before activity measurement starts.
+    pub warmup_cycles: usize,
+    /// Cycles of measured activity.
+    pub cycles: usize,
+    /// RNG seed for the random test vectors.
+    pub seed: u64,
+    /// Base placement utilization (the reference the overhead is
+    /// measured against).
+    pub base_utilization: f64,
+    /// Thermal mesh and package model.
+    pub thermal: ThermalConfig,
+    /// Power model.
+    pub power: PowerConfig,
+    /// Timing model.
+    pub timing: TimingConfig,
+    /// Hotspot detection thresholds.
+    pub hotspot: HotspotConfig,
+    /// Hotspot-wrapper parameters.
+    pub wrapper: WrapperConfig,
+    /// Iterations of the leakage–temperature feedback loop (0 = leakage
+    /// at reference temperature, as in the paper's main experiments).
+    pub leakage_feedback_iters: usize,
+}
+
+impl FlowConfig {
+    /// Paper test set 1: "four scattered small hotspots" — the four small
+    /// units placed at the die corners by the region assignment (ripple
+    /// adder, ALU, lookahead adder, MAC), so the hotspots are mutually
+    /// distant as in the paper's Fig. 5.
+    pub fn scattered_small() -> Self {
+        FlowConfig::with_workload(WorkloadSpec {
+            active: vec![
+                UnitRole::RippleAdder,
+                UnitRole::Alu,
+                UnitRole::LookaheadAdder,
+                UnitRole::Mac,
+            ],
+            toggle_probability: 0.5,
+        })
+    }
+
+    /// Paper test set 2: "a single, large, concentrated hotspot" — the
+    /// Booth multiplier, the largest unit, which the region assignment
+    /// places at the center of the die.
+    pub fn concentrated_large() -> Self {
+        FlowConfig::with_workload(WorkloadSpec {
+            active: vec![UnitRole::BoothMult],
+            toggle_probability: 0.5,
+        })
+    }
+
+    /// Custom workload over otherwise-default parameters.
+    pub fn with_workload(workload: WorkloadSpec) -> Self {
+        FlowConfig {
+            benchmark: BenchmarkConfig::paper(),
+            workload,
+            warmup_cycles: 16,
+            cycles: 256,
+            seed: 2010,
+            base_utilization: 0.85,
+            thermal: ThermalConfig::paper(),
+            power: PowerConfig::default(),
+            timing: TimingConfig::default(),
+            hotspot: HotspotConfig::default(),
+            wrapper: WrapperConfig::default(),
+            leakage_feedback_iters: 0,
+        }
+    }
+
+    /// Scaled-down variant (small benchmark, coarse mesh) for tests.
+    pub fn fast(mut self) -> Self {
+        self.benchmark = BenchmarkConfig::small();
+        self.thermal = ThermalConfig::with_resolution(16, 16);
+        self.cycles = 96;
+        self
+    }
+}
+
+/// Scalar summary of a thermal map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalSummary {
+    /// Peak temperature, °C.
+    pub peak_c: f64,
+    /// Peak rise above ambient, K.
+    pub peak_rise: f64,
+    /// Mean rise above ambient, K.
+    pub mean_rise: f64,
+    /// On-die gradient (max − min), K.
+    pub gradient: f64,
+}
+
+impl ThermalSummary {
+    fn of(map: &ThermalMap) -> Self {
+        ThermalSummary {
+            peak_c: map.peak_bin().1,
+            peak_rise: map.peak_rise(),
+            mean_rise: map.mean_rise(),
+            gradient: map.gradient(),
+        }
+    }
+}
+
+/// Everything one experiment run produces.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// The strategy that was applied.
+    pub strategy: Strategy,
+    /// Base core area, µm².
+    pub base_area_um2: f64,
+    /// Core area after the transformation, µm².
+    pub new_area_um2: f64,
+    /// Area overhead in percent of the base area.
+    pub area_overhead_pct: f64,
+    /// Thermal summary before.
+    pub before: ThermalSummary,
+    /// Thermal summary after.
+    pub after: ThermalSummary,
+    /// Detected hotspots (on the base placement).
+    pub hotspots: Vec<Hotspot>,
+    /// Critical-path report before.
+    pub timing_before: TimingReport,
+    /// Critical-path report after.
+    pub timing_after: TimingReport,
+    /// Total HPWL before, µm.
+    pub hpwl_before_um: f64,
+    /// Total HPWL after, µm.
+    pub hpwl_after_um: f64,
+    /// Total power used for the thermal solves, W.
+    pub total_power_w: f64,
+}
+
+impl FlowReport {
+    /// Peak-temperature reduction in percent of the original rise — the
+    /// paper's main metric.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.before.peak_rise <= 0.0 {
+            return 0.0;
+        }
+        (self.before.peak_rise - self.after.peak_rise) / self.before.peak_rise * 100.0
+    }
+
+    /// Gradient reduction in percent.
+    pub fn gradient_reduction_pct(&self) -> f64 {
+        if self.before.gradient <= 0.0 {
+            return 0.0;
+        }
+        (self.before.gradient - self.after.gradient) / self.before.gradient * 100.0
+    }
+
+    /// Timing overhead in percent (positive = slower after).
+    pub fn timing_overhead_pct(&self) -> f64 {
+        self.timing_before.overhead_to(&self.timing_after)
+    }
+}
+
+/// The flow driver: builds the benchmark and its activity once, then
+/// evaluates any number of strategies against the same baseline.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Flow {
+    config: FlowConfig,
+    netlist: Netlist,
+    activity: Activity,
+    base: PlacementResult,
+    /// Per-cell power computed once on the base placement and held fixed
+    /// across transformations — the paper's premise: the techniques reduce
+    /// power *density* "while keeping (cell) power consumption unchanged".
+    power: PowerReport,
+}
+
+impl Flow {
+    /// Builds the benchmark, simulates the workload and places the base
+    /// design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist generation and placement errors.
+    pub fn new(config: FlowConfig) -> Result<Self, FlowError> {
+        let netlist = build_benchmark(&config.benchmark)?;
+        let active: Vec<netlist::UnitId> =
+            config.workload.active.iter().map(|r| r.unit_id()).collect();
+        let workload =
+            Workload::with_active_units(&netlist, &active, config.workload.toggle_probability);
+        let mut sim = Simulator::new(&netlist);
+        sim.run_workload(&workload, config.warmup_cycles, config.seed);
+        sim.reset_activity();
+        sim.run_workload(&workload, config.cycles, config.seed.wrapping_add(1));
+        let activity = sim.activity();
+        let base =
+            Placer::new(PlacerConfig::with_utilization(config.base_utilization)).place(&netlist)?;
+        let power = estimate_power(
+            &netlist,
+            &activity,
+            Some((&base.floorplan, &base.placement)),
+            None,
+            &config.power,
+        );
+        Ok(Flow {
+            config,
+            netlist,
+            activity,
+            base,
+            power,
+        })
+    }
+
+    /// The per-cell power report (fixed across transformations).
+    pub fn power(&self) -> &PowerReport {
+        &self.power
+    }
+
+    /// The switching activity measured on the workload.
+    pub fn activity(&self) -> &Activity {
+        &self.activity
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// The benchmark netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The base placement the overhead is measured against.
+    pub fn base_placement(&self) -> &PlacementResult {
+        &self.base
+    }
+
+    /// Power, power map and thermal map for a given placement, including
+    /// the optional leakage–temperature feedback loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solve failures.
+    pub fn analyze_placement(
+        &self,
+        floorplan: &Floorplan,
+        placement: &Placement,
+    ) -> Result<(PowerReport, Grid2d<f64>, ThermalMap), FlowError> {
+        let nx = self.config.thermal.grid.nx;
+        let ny = self.config.thermal.grid.ny;
+        let simulator = ThermalSimulator::new(self.config.thermal.clone());
+        let mut report = self.power.clone();
+        let mut pmap = power_map(&self.netlist, floorplan, placement, &report, nx, ny);
+        let mut tmap = simulator.solve(floorplan.core(), &pmap)?;
+        for _ in 0..self.config.leakage_feedback_iters {
+            let temps = self.cell_temps(floorplan, placement, &tmap);
+            report = report.with_leakage_at(&self.netlist, &self.config.power, &temps);
+            pmap = power_map(&self.netlist, floorplan, placement, &report, nx, ny);
+            tmap = simulator.solve(floorplan.core(), &pmap)?;
+        }
+        Ok((report, pmap, tmap))
+    }
+
+    /// Per-cell temperatures sampled from a thermal map.
+    pub fn cell_temps(
+        &self,
+        floorplan: &Floorplan,
+        placement: &Placement,
+        map: &ThermalMap,
+    ) -> Vec<f64> {
+        self.netlist
+            .cells()
+            .map(|(id, _)| {
+                placement
+                    .cell_center(&self.netlist, floorplan, id)
+                    .and_then(|c| map.grid().bin_of(c.x, c.y))
+                    .map(|(ix, iy)| *map.grid().get(ix, iy))
+                    .unwrap_or(map.ambient_c())
+            })
+            .collect()
+    }
+
+    /// The power map and thermal map of the *base* placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solve failures.
+    pub fn baseline_maps(&self) -> Result<(Grid2d<f64>, ThermalMap), FlowError> {
+        let (_, pmap, tmap) = self.analyze_placement(&self.base.floorplan, &self.base.placement)?;
+        Ok((pmap, tmap))
+    }
+
+    /// Runs one strategy and reports before/after metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement, thermal and strategy-parameter errors.
+    pub fn run(&self, strategy: Strategy) -> Result<FlowReport, FlowError> {
+        let base_fp = &self.base.floorplan;
+        let base_pl = &self.base.placement;
+        let (power_before, _, tmap_before) = self.analyze_placement(base_fp, base_pl)?;
+        let hotspots = detect_hotspots(&tmap_before, &self.config.hotspot);
+        let timing_before = analyze(
+            &self.netlist,
+            base_fp,
+            base_pl,
+            Some(&tmap_before),
+            &self.config.timing,
+        );
+        let hpwl_before = total_hpwl(&self.netlist, base_fp, base_pl);
+
+        // Apply the strategy.
+        let (new_fp, new_pl) = match strategy {
+            Strategy::None => (base_fp.clone(), base_pl.clone()),
+            Strategy::UniformSlack { area_overhead } => {
+                let result = uniform_slack(
+                    &self.netlist,
+                    &PlacerConfig::with_utilization(self.config.base_utilization),
+                    area_overhead,
+                )?;
+                (result.floorplan, result.placement)
+            }
+            Strategy::EmptyRowInsertion { rows } => {
+                let (fp, pl, _) = empty_row_insertion(
+                    &self.netlist,
+                    base_fp,
+                    base_pl,
+                    &tmap_before,
+                    &hotspots,
+                    rows,
+                )?;
+                (fp, pl)
+            }
+            Strategy::HotspotWrapper { area_overhead } => {
+                // Per the paper: start from the Default solution at the
+                // desired overhead, then wrap the hotspots it exhibits.
+                let relaxed = uniform_slack(
+                    &self.netlist,
+                    &PlacerConfig::with_utilization(self.config.base_utilization),
+                    area_overhead,
+                )?;
+                let (_, _, tmap_relaxed) =
+                    self.analyze_placement(&relaxed.floorplan, &relaxed.placement)?;
+                let blobs = detect_hotspots(
+                    &tmap_relaxed,
+                    &HotspotConfig {
+                        threshold_fraction: self.config.wrapper.threshold_fraction,
+                        ..self.config.hotspot
+                    },
+                );
+                // Wrap per hotspot source: split merged thermal blobs along
+                // the unit-region boundaries (paper Fig. 4 wraps each
+                // hotspot separately), then clip the wrappers to stay
+                // disjoint.
+                let spots = crate::split_hotspots_by_regions(
+                    &tmap_relaxed,
+                    &blobs,
+                    &relaxed.regions,
+                    self.config.hotspot.min_bins,
+                );
+                let regions = crate::wrap_regions(&spots, &relaxed.floorplan, &self.config.wrapper);
+                let mut placement = relaxed.placement;
+                hotspot_wrapper(
+                    &self.netlist,
+                    &relaxed.floorplan,
+                    &mut placement,
+                    &regions,
+                    &power_before,
+                    &self.config.wrapper,
+                )?;
+                (relaxed.floorplan, placement)
+            }
+        };
+
+        let (_, _, tmap_after) = self.analyze_placement(&new_fp, &new_pl)?;
+        let timing_after = analyze(
+            &self.netlist,
+            &new_fp,
+            &new_pl,
+            Some(&tmap_after),
+            &self.config.timing,
+        );
+        let hpwl_after = total_hpwl(&self.netlist, &new_fp, &new_pl);
+        let base_area = base_fp.core().area();
+        let new_area = new_fp.core().area();
+        Ok(FlowReport {
+            strategy,
+            base_area_um2: base_area,
+            new_area_um2: new_area,
+            area_overhead_pct: (new_area / base_area - 1.0) * 100.0,
+            before: ThermalSummary::of(&tmap_before),
+            after: ThermalSummary::of(&tmap_after),
+            hotspots,
+            timing_before,
+            timing_after,
+            hpwl_before_um: hpwl_before,
+            hpwl_after_um: hpwl_after,
+            total_power_w: power_before.total_w(),
+        })
+    }
+}

@@ -1,0 +1,60 @@
+//! **`postplace`** — the contribution of *"Post-placement temperature
+//! reduction techniques"* (Liu & Nannarelli et al., DATE 2010):
+//! smart allocation of whitespace into thermal hotspots.
+//!
+//! Given a placed, power-annotated design and its thermal map, the crate
+//! offers three ways to spend a user-specified area overhead:
+//!
+//! * [`Strategy::UniformSlack`] — the paper's **Default** baseline: relax
+//!   the placement's row-utilization factor, spreading whitespace blindly
+//!   and uniformly over the whole core;
+//! * [`Strategy::EmptyRowInsertion`] — insert empty, filler-filled layout
+//!   rows between the rows of the detected hotspots (coarse grain, best
+//!   for wide or large hotspots);
+//! * [`Strategy::HotspotWrapper`] — ring each hotspot with whitespace,
+//!   evict the cells that do not contribute to it and spread the hot
+//!   cells uniformly inside the wrapped region (fine grain, best for
+//!   small concentrated hotspots).
+//!
+//! [`Flow`] wires up the whole evaluation pipeline of the paper — the
+//! synthetic nine-unit benchmark, workload simulation, power estimation,
+//! placement, RC thermal simulation and STA — so each experiment is a
+//! single [`Flow::run`] call producing a [`FlowReport`] with before/after
+//! peak temperature, area overhead and timing overhead.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use postplace::{Flow, FlowConfig, Strategy};
+//!
+//! # fn main() -> Result<(), postplace::FlowError> {
+//! let flow = Flow::new(FlowConfig::scattered_small())?;
+//! let eri = flow.run(Strategy::EmptyRowInsertion { rows: 12 })?;
+//! let def = flow.run(Strategy::UniformSlack {
+//!     area_overhead: eri.area_overhead_pct / 100.0,
+//! })?;
+//! assert!(eri.reduction_pct() >= def.reduction_pct() - 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod eri;
+mod error;
+mod flow;
+mod hotspot;
+mod optimize;
+mod strategy;
+mod uniform;
+mod wrapper;
+
+pub use eri::{empty_row_insertion, EriReport};
+pub use error::FlowError;
+pub use flow::{Flow, FlowConfig, FlowReport, ThermalSummary, WorkloadSpec};
+pub use hotspot::{
+    classify_hotspots, detect_hotspots, split_hotspots_by_regions, Hotspot, HotspotClass,
+    HotspotConfig,
+};
+pub use optimize::{best_strategy_within_budget, minimize_rows_for_target, RowOptimum};
+pub use strategy::Strategy;
+pub use uniform::uniform_slack;
+pub use wrapper::{hotspot_wrapper, wrap_regions, WrapperConfig, WrapperReport};

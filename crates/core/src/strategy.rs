@@ -1,0 +1,64 @@
+use serde::{Deserialize, Serialize};
+
+/// How to spend the user-specified area overhead (the paper's three
+/// compared schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Keep the base placement untouched (for before/after baselines).
+    None,
+    /// The paper's **Default**: relax the utilization factor so the given
+    /// fraction of extra core area (e.g. `0.161` = +16.1 %) is spread
+    /// uniformly ("blind" whitespace).
+    UniformSlack {
+        /// Extra core area as a fraction of the base area.
+        area_overhead: f64,
+    },
+    /// **ERI**: insert this many empty rows interleaved with the hotspot
+    /// rows; the core grows by `rows / base_rows`.
+    EmptyRowInsertion {
+        /// Number of empty rows to insert.
+        rows: usize,
+    },
+    /// **HW**: start from the *Default* solution at the given overhead
+    /// (as the paper does), then wrap the detected hotspots.
+    HotspotWrapper {
+        /// Extra core area as a fraction of the base area, realized by
+        /// utilization relaxation before wrapping.
+        area_overhead: f64,
+    },
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::None => write!(f, "none"),
+            Strategy::UniformSlack { area_overhead } => {
+                write!(f, "default(+{:.1}%)", area_overhead * 100.0)
+            }
+            Strategy::EmptyRowInsertion { rows } => write!(f, "eri({rows} rows)"),
+            Strategy::HotspotWrapper { area_overhead } => {
+                write!(f, "hw(+{:.1}%)", area_overhead * 100.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(
+            Strategy::UniformSlack {
+                area_overhead: 0.161
+            }
+            .to_string(),
+            "default(+16.1%)"
+        );
+        assert_eq!(
+            Strategy::EmptyRowInsertion { rows: 20 }.to_string(),
+            "eri(20 rows)"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's **Default** baseline: blind, uniform whitespace.
+//!
+//! "Even a straightforward use of this area slack (e.g., by decreasing
+//! the row utilization factor during placement) would result in a
+//! decrease in cell (and, in turn, power) density over the entire
+//! circuit." This module implements exactly that: re-place the design at
+//! a relaxed utilization so the same cells spread over a larger core.
+
+use netlist::Netlist;
+use placement::{PlacementResult, Placer, PlacerConfig};
+
+use crate::FlowError;
+
+/// Re-places `netlist` with `area_overhead` (e.g. `0.161` for +16.1 %)
+/// of extra core area distributed uniformly: the new utilization is
+/// `base_utilization / (1 + area_overhead)`.
+///
+/// # Errors
+///
+/// Returns [`FlowError::BadStrategy`] for a negative overhead and
+/// propagates placement failures.
+pub fn uniform_slack(
+    netlist: &Netlist,
+    base_config: &PlacerConfig,
+    area_overhead: f64,
+) -> Result<PlacementResult, FlowError> {
+    if area_overhead < 0.0 {
+        return Err(FlowError::BadStrategy {
+            detail: format!("negative area overhead {area_overhead}"),
+        });
+    }
+    let relaxed = PlacerConfig {
+        utilization: base_config.utilization / (1.0 + area_overhead),
+        ..base_config.clone()
+    };
+    Ok(Placer::new(relaxed).place(netlist)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arithgen::{build_benchmark, BenchmarkConfig};
+
+    #[test]
+    fn overhead_grows_core_area_proportionally() {
+        let nl = build_benchmark(&BenchmarkConfig::small()).unwrap();
+        let base_cfg = PlacerConfig::default();
+        let base = Placer::new(base_cfg.clone()).place(&nl).unwrap();
+        let relaxed = uniform_slack(&nl, &base_cfg, 0.25).unwrap();
+        let growth = relaxed.floorplan.core().area() / base.floorplan.core().area();
+        assert!((growth - 1.25).abs() < 0.05, "area grew by {growth}");
+        assert!(relaxed.placement.is_fully_placed(&nl));
+    }
+
+    #[test]
+    fn zero_overhead_reproduces_the_base_area() {
+        let nl = build_benchmark(&BenchmarkConfig::small()).unwrap();
+        let base_cfg = PlacerConfig::default();
+        let base = Placer::new(base_cfg.clone()).place(&nl).unwrap();
+        let same = uniform_slack(&nl, &base_cfg, 0.0).unwrap();
+        assert!(
+            (same.floorplan.core().area() - base.floorplan.core().area()).abs()
+                < base.floorplan.core().area() * 1e-6
+        );
+    }
+
+    #[test]
+    fn negative_overhead_is_rejected() {
+        let nl = build_benchmark(&BenchmarkConfig::small()).unwrap();
+        assert!(uniform_slack(&nl, &PlacerConfig::default(), -0.1).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end flow tests on the fast (scaled-down) configuration.
+
+use postplace::{classify_hotspots, detect_hotspots, Flow, FlowConfig, HotspotClass, Strategy};
+
+fn fast_scattered() -> Flow {
+    Flow::new(FlowConfig::scattered_small().fast()).expect("flow builds")
+}
+
+fn fast_concentrated() -> Flow {
+    Flow::new(FlowConfig::concentrated_large().fast()).expect("flow builds")
+}
+
+#[test]
+fn baseline_is_reproducible() {
+    let flow = fast_scattered();
+    let (p1, t1) = flow.baseline_maps().unwrap();
+    let (p2, t2) = flow.baseline_maps().unwrap();
+    assert_eq!(p1, p2, "power map must be deterministic");
+    assert_eq!(t1.grid(), t2.grid(), "thermal map must be deterministic");
+}
+
+#[test]
+fn every_strategy_reduces_peak_temperature() {
+    let flow = fast_scattered();
+    let rows = (0.16 * flow.base_placement().floorplan.num_rows() as f64).round() as usize;
+    for strategy in [
+        Strategy::UniformSlack {
+            area_overhead: 0.16,
+        },
+        Strategy::EmptyRowInsertion { rows },
+        Strategy::HotspotWrapper {
+            area_overhead: 0.16,
+        },
+    ] {
+        let report = flow.run(strategy).unwrap();
+        assert!(
+            report.reduction_pct() > 0.0,
+            "{strategy} should cool the die, got {:.2}%",
+            report.reduction_pct()
+        );
+        assert!(
+            report.area_overhead_pct > 0.0,
+            "{strategy} should cost area"
+        );
+        assert!(
+            report.timing_overhead_pct().abs() < 10.0,
+            "{strategy} timing overhead {:.2}% is out of band",
+            report.timing_overhead_pct()
+        );
+    }
+}
+
+#[test]
+fn none_strategy_changes_nothing() {
+    let flow = fast_scattered();
+    let report = flow.run(Strategy::None).unwrap();
+    assert!(report.reduction_pct().abs() < 1e-9);
+    assert!(report.area_overhead_pct.abs() < 1e-9);
+    assert!(report.timing_overhead_pct().abs() < 1e-9);
+}
+
+#[test]
+fn transformations_preserve_total_power() {
+    // The paper's premise: whitespace moves, power does not.
+    let flow = fast_scattered();
+    let rows = (0.2 * flow.base_placement().floorplan.num_rows() as f64).round() as usize;
+    let base_power = flow.power().total_w();
+    for strategy in [
+        Strategy::UniformSlack { area_overhead: 0.2 },
+        Strategy::EmptyRowInsertion { rows },
+        Strategy::HotspotWrapper { area_overhead: 0.2 },
+    ] {
+        let report = flow.run(strategy).unwrap();
+        assert!(
+            (report.total_power_w - base_power).abs() < base_power * 1e-12,
+            "{strategy}: power changed"
+        );
+    }
+}
+
+#[test]
+fn scattered_workload_classifies_as_scattered() {
+    let flow = fast_scattered();
+    let (_, tmap) = flow.baseline_maps().unwrap();
+    let hotspots = detect_hotspots(&tmap, &flow.config().hotspot);
+    assert!(!hotspots.is_empty());
+    // With the blob split across unit regions the pattern is scattered.
+    let split = postplace::split_hotspots_by_regions(
+        &tmap,
+        &hotspots,
+        &flow.base_placement().regions,
+        flow.config().hotspot.min_bins,
+    );
+    assert!(split.len() >= 2, "expected several hotspot pieces");
+    assert_eq!(
+        classify_hotspots(&split, tmap.die()),
+        HotspotClass::ScatteredSmall
+    );
+}
+
+#[test]
+fn concentrated_workload_produces_one_dominant_hotspot() {
+    let flow = fast_concentrated();
+    let (_, tmap) = flow.baseline_maps().unwrap();
+    let hotspots = detect_hotspots(&tmap, &flow.config().hotspot);
+    assert!(!hotspots.is_empty());
+    let total: f64 = hotspots.iter().map(|h| h.area_um2).sum();
+    assert!(
+        hotspots[0].area_um2 / total > 0.5,
+        "largest hotspot should dominate the hot area"
+    );
+}
+
+#[test]
+fn larger_overheads_reduce_more() {
+    let flow = fast_scattered();
+    let small = flow
+        .run(Strategy::UniformSlack {
+            area_overhead: 0.08,
+        })
+        .unwrap();
+    let large = flow
+        .run(Strategy::UniformSlack {
+            area_overhead: 0.32,
+        })
+        .unwrap();
+    assert!(large.reduction_pct() > small.reduction_pct());
+}
+
+#[test]
+fn eri_beats_uniform_slack_at_matched_overhead() {
+    // The paper's headline claim, on the fast configuration.
+    let flow = fast_scattered();
+    let rows0 = flow.base_placement().floorplan.num_rows();
+    let rows = (0.16 * rows0 as f64).round() as usize;
+    let eri = flow.run(Strategy::EmptyRowInsertion { rows }).unwrap();
+    let def = flow
+        .run(Strategy::UniformSlack {
+            area_overhead: eri.area_overhead_pct / 100.0,
+        })
+        .unwrap();
+    assert!(
+        eri.reduction_pct() > def.reduction_pct() - 0.3,
+        "ERI {:.2}% should not lose to Default {:.2}%",
+        eri.reduction_pct(),
+        def.reduction_pct()
+    );
+}
+
+#[test]
+fn leakage_feedback_raises_temperature_estimates() {
+    let mut config = FlowConfig::scattered_small().fast();
+    config.leakage_feedback_iters = 2;
+    let with_feedback = Flow::new(config).unwrap();
+    let without_feedback = fast_scattered();
+    let (_, hot) = with_feedback.baseline_maps().unwrap();
+    let (_, cold) = without_feedback.baseline_maps().unwrap();
+    // Hot silicon leaks more, which heats it further: the feedback loop
+    // must increase (or at worst match) the estimate.
+    assert!(hot.peak_rise() >= cold.peak_rise() - 1e-9);
+}
+
+#[test]
+fn gradient_also_improves_for_eri() {
+    let flow = fast_scattered();
+    let rows = (0.2 * flow.base_placement().floorplan.num_rows() as f64).round() as usize;
+    let eri = flow.run(Strategy::EmptyRowInsertion { rows }).unwrap();
+    assert!(
+        eri.gradient_reduction_pct() > -20.0,
+        "gradient should not explode: {:.1}%",
+        eri.gradient_reduction_pct()
+    );
+}

@@ -1,0 +1,280 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Rect, Um};
+
+/// A dense 2-D grid of values laid over a rectangular die region.
+///
+/// The grid is the common currency between the power estimator (power-density
+/// maps), the thermal simulator (temperature maps) and the hotspot detector.
+/// Bin `(0, 0)` is the lower-left corner, following die coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use geom::{Grid2d, Rect};
+///
+/// let mut g = Grid2d::new(4, 4, Rect::new(0.0, 0.0, 40.0, 40.0), 0.0f64);
+/// *g.get_mut(2, 3) = 7.5;
+/// assert_eq!(g.get(2, 3), &7.5);
+/// assert_eq!(g.bin_of(25.0, 35.0), Some((2, 3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid2d<T> {
+    nx: usize,
+    ny: usize,
+    extent: Rect,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid2d<T> {
+    /// Creates a grid of `nx`×`ny` bins covering `extent`, filled with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero or the extent is degenerate.
+    pub fn new(nx: usize, ny: usize, extent: Rect, fill: T) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have at least one bin per axis");
+        assert!(
+            extent.width() > 0.0 && extent.height() > 0.0,
+            "grid extent must have positive area"
+        );
+        Grid2d {
+            nx,
+            ny,
+            extent,
+            data: vec![fill; nx * ny],
+        }
+    }
+}
+
+impl<T> Grid2d<T> {
+    /// Number of bins along x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of bins along y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The die region covered by the grid.
+    pub fn extent(&self) -> Rect {
+        self.extent
+    }
+
+    /// Bin width in microns.
+    pub fn bin_width(&self) -> Um {
+        self.extent.width() / self.nx as f64
+    }
+
+    /// Bin height in microns.
+    pub fn bin_height(&self) -> Um {
+        self.extent.height() / self.ny as f64
+    }
+
+    fn index(&self, ix: usize, iy: usize) -> usize {
+        assert!(ix < self.nx && iy < self.ny, "grid index out of bounds");
+        iy * self.nx + ix
+    }
+
+    /// Reference to the value in bin `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin index is out of bounds.
+    pub fn get(&self, ix: usize, iy: usize) -> &T {
+        &self.data[self.index(ix, iy)]
+    }
+
+    /// Mutable reference to the value in bin `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin index is out of bounds.
+    pub fn get_mut(&mut self, ix: usize, iy: usize) -> &mut T {
+        let i = self.index(ix, iy);
+        &mut self.data[i]
+    }
+
+    /// The bin containing die point `(x, y)`, or `None` outside the extent.
+    /// Points on the upper/right boundary map into the last bin.
+    pub fn bin_of(&self, x: Um, y: Um) -> Option<(usize, usize)> {
+        let e = &self.extent;
+        if x < e.llx || x > e.urx || y < e.lly || y > e.ury {
+            return None;
+        }
+        let ix = (((x - e.llx) / self.bin_width()) as usize).min(self.nx - 1);
+        let iy = (((y - e.lly) / self.bin_height()) as usize).min(self.ny - 1);
+        Some((ix, iy))
+    }
+
+    /// The die rectangle covered by bin `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin index is out of bounds.
+    pub fn bin_rect(&self, ix: usize, iy: usize) -> Rect {
+        assert!(ix < self.nx && iy < self.ny, "grid index out of bounds");
+        let w = self.bin_width();
+        let h = self.bin_height();
+        Rect::new(
+            self.extent.llx + ix as f64 * w,
+            self.extent.lly + iy as f64 * h,
+            self.extent.llx + (ix + 1) as f64 * w,
+            self.extent.lly + (iy + 1) as f64 * h,
+        )
+    }
+
+    /// Iterates over `((ix, iy), &value)` in row-major order (y outer).
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), &T)> {
+        let nx = self.nx;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| ((i % nx, i / nx), v))
+    }
+
+    /// The raw values in row-major order (y outer, x inner).
+    pub fn values(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw values in row-major order.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl Grid2d<f64> {
+    /// Largest value together with its bin, or `None` for all-NaN grids.
+    pub fn max_bin(&self) -> Option<((usize, usize), f64)> {
+        self.iter()
+            .filter(|(_, v)| !v.is_nan())
+            .map(|(b, v)| (b, *v))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Smallest value together with its bin, or `None` for all-NaN grids.
+    pub fn min_bin(&self) -> Option<((usize, usize), f64)> {
+        self.iter()
+            .filter(|(_, v)| !v.is_nan())
+            .map(|(b, v)| (b, *v))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Sum of all bin values.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all bin values.
+    pub fn mean(&self) -> f64 {
+        self.sum() / (self.data.len() as f64)
+    }
+
+    /// Accumulates `amount` into the bins overlapped by `footprint`,
+    /// weighted by overlap area. Portions outside the extent are dropped.
+    ///
+    /// This implements the paper's rule that "the power value in a thermal
+    /// cell is the sum of power consumptions in all the standard cells that
+    /// it covers", with area weighting for cells straddling bins.
+    pub fn splat(&mut self, footprint: &Rect, amount: f64) {
+        let total = footprint.area();
+        if total <= 0.0 {
+            // Degenerate footprint: deposit into the containing bin.
+            if let Some((ix, iy)) = self.bin_of(footprint.llx, footprint.lly) {
+                *self.get_mut(ix, iy) += amount;
+            }
+            return;
+        }
+        let Some(clipped) = footprint.intersection(&self.extent.expand(-0.0)) else {
+            return;
+        };
+        let (ix0, iy0) = self
+            .bin_of(clipped.llx, clipped.lly)
+            .expect("clipped rect starts inside extent");
+        let (ix1, iy1) = self
+            .bin_of(
+                clipped.urx.min(self.extent.urx),
+                clipped.ury.min(self.extent.ury),
+            )
+            .expect("clipped rect ends inside extent");
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                let bin = self.bin_rect(ix, iy);
+                if let Some(ov) = bin.intersection(footprint) {
+                    *self.get_mut(ix, iy) += amount * ov.area() / total;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> Grid2d<f64> {
+        Grid2d::new(4, 4, Rect::new(0.0, 0.0, 40.0, 40.0), 0.0)
+    }
+
+    #[test]
+    fn bin_of_maps_boundaries_inward() {
+        let g = grid4();
+        assert_eq!(g.bin_of(0.0, 0.0), Some((0, 0)));
+        assert_eq!(g.bin_of(40.0, 40.0), Some((3, 3)));
+        assert_eq!(g.bin_of(-0.1, 1.0), None);
+    }
+
+    #[test]
+    fn bin_rect_tiles_extent() {
+        let g = grid4();
+        let mut area = 0.0;
+        for iy in 0..4 {
+            for ix in 0..4 {
+                area += g.bin_rect(ix, iy).area();
+            }
+        }
+        assert!(crate::approx_eq(area, g.extent().area(), 1e-9));
+    }
+
+    #[test]
+    fn splat_conserves_mass_inside_extent() {
+        let mut g = grid4();
+        g.splat(&Rect::new(5.0, 5.0, 25.0, 15.0), 2.0);
+        assert!(crate::approx_eq(g.sum(), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn splat_weights_by_overlap() {
+        let mut g = grid4();
+        // Straddles bins (0,0) and (1,0) equally.
+        g.splat(&Rect::new(5.0, 0.0, 15.0, 10.0), 4.0);
+        assert!(crate::approx_eq(*g.get(0, 0), 2.0, 1e-12));
+        assert!(crate::approx_eq(*g.get(1, 0), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn splat_outside_extent_is_dropped() {
+        let mut g = grid4();
+        g.splat(&Rect::new(100.0, 100.0, 110.0, 110.0), 1.0);
+        assert_eq!(g.sum(), 0.0);
+    }
+
+    #[test]
+    fn max_and_min_bins() {
+        let mut g = grid4();
+        *g.get_mut(1, 2) = 9.0;
+        *g.get_mut(3, 0) = -4.0;
+        assert_eq!(g.max_bin(), Some(((1, 2), 9.0)));
+        assert_eq!(g.min_bin(), Some(((3, 0), -4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let g = grid4();
+        let _ = g.get(4, 0);
+    }
+}

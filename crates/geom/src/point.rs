@@ -1,0 +1,93 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Um;
+
+/// A point in die coordinates, in microns.
+///
+/// # Examples
+///
+/// ```
+/// use geom::Point;
+///
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(4.0, 6.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// assert_eq!(a.manhattan_to(b), 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in microns.
+    pub x: Um,
+    /// Vertical coordinate in microns.
+    pub y: Um,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(x: Um, y: Um) -> Self {
+        Point { x, y }
+    }
+
+    /// The point at the origin `(0, 0)`.
+    pub fn origin() -> Self {
+        Point::default()
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance_to(self, other: Point) -> Um {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Manhattan (L1) distance to `other` — the routing-relevant metric.
+    pub fn manhattan_to(self, other: Point) -> Um {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Component-wise translation.
+    pub fn offset(self, dx: Um, dy: Um) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(Um, Um)> for Point {
+    fn from((x, y): (Um, Um)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert_eq!(a.distance_to(b), 5.0);
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean() {
+        let a = Point::new(1.5, -2.0);
+        let b = Point::new(-0.5, 7.0);
+        assert!(a.manhattan_to(b) >= a.distance_to(b));
+    }
+
+    #[test]
+    fn offset_moves_both_axes() {
+        let p = Point::new(1.0, 1.0).offset(2.0, -3.0);
+        assert_eq!(p, Point::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Point::origin().to_string().is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Point, Um};
+
+/// An axis-aligned rectangle in die coordinates (microns).
+///
+/// The rectangle is stored as lower-left / upper-right corners and is kept
+/// normalized (`llx <= urx`, `lly <= ury`) by every constructor.
+///
+/// # Examples
+///
+/// ```
+/// use geom::Rect;
+///
+/// let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+/// let b = Rect::new(5.0, 5.0, 15.0, 15.0);
+/// let i = a.intersection(&b).expect("rectangles overlap");
+/// assert_eq!(i.area(), 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left x in microns.
+    pub llx: Um,
+    /// Lower-left y in microns.
+    pub lly: Um,
+    /// Upper-right x in microns.
+    pub urx: Um,
+    /// Upper-right y in microns.
+    pub ury: Um,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalizing their order.
+    pub fn new(llx: Um, lly: Um, urx: Um, ury: Um) -> Self {
+        Rect {
+            llx: llx.min(urx),
+            lly: lly.min(ury),
+            urx: llx.max(urx),
+            ury: lly.max(ury),
+        }
+    }
+
+    /// Creates a rectangle from its lower-left corner and size.
+    pub fn from_origin_size(origin: Point, width: Um, height: Um) -> Self {
+        Rect::new(origin.x, origin.y, origin.x + width, origin.y + height)
+    }
+
+    /// Width in microns.
+    pub fn width(&self) -> Um {
+        self.urx - self.llx
+    }
+
+    /// Height in microns.
+    pub fn height(&self) -> Um {
+        self.ury - self.lly
+    }
+
+    /// Area in square microns.
+    pub fn area(&self) -> Um {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new((self.llx + self.urx) / 2.0, (self.lly + self.ury) / 2.0)
+    }
+
+    /// Lower-left corner.
+    pub fn ll(&self) -> Point {
+        Point::new(self.llx, self.lly)
+    }
+
+    /// Upper-right corner.
+    pub fn ur(&self) -> Point {
+        Point::new(self.urx, self.ury)
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.llx && p.x <= self.urx && p.y >= self.lly && p.y <= self.ury
+    }
+
+    /// Whether `other` lies fully inside `self` (boundaries allowed).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.llx >= self.llx
+            && other.lly >= self.lly
+            && other.urx <= self.urx
+            && other.ury <= self.ury
+    }
+
+    /// Whether the two rectangles share interior area (touching edges do
+    /// not count as an intersection).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.llx < other.urx && other.llx < self.urx && self.lly < other.ury && other.lly < self.ury
+    }
+
+    /// The overlapping region, if the rectangles share interior area.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.llx.max(other.llx),
+            self.lly.max(other.lly),
+            self.urx.min(other.urx),
+            self.ury.min(other.ury),
+        ))
+    }
+
+    /// Smallest rectangle covering both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.llx.min(other.llx),
+            self.lly.min(other.lly),
+            self.urx.max(other.urx),
+            self.ury.max(other.ury),
+        )
+    }
+
+    /// Grows (or with a negative margin, shrinks) the rectangle on all
+    /// sides. Shrinking past a degenerate rectangle collapses to the center.
+    pub fn expand(&self, margin: Um) -> Rect {
+        let c = self.center();
+        Rect::new(
+            (self.llx - margin).min(c.x),
+            (self.lly - margin).min(c.y),
+            (self.urx + margin).max(c.x),
+            (self.ury + margin).max(c.y),
+        )
+    }
+
+    /// Clamps `self` into `outer`, returning the overlapping portion or a
+    /// degenerate rectangle on `outer`'s nearest edge when disjoint.
+    pub fn clamp_into(&self, outer: &Rect) -> Rect {
+        Rect::new(
+            self.llx.clamp(outer.llx, outer.urx),
+            self.lly.clamp(outer.lly, outer.ury),
+            self.urx.clamp(outer.llx, outer.urx),
+            self.ury.clamp(outer.lly, outer.ury),
+        )
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.3},{:.3} .. {:.3},{:.3}]",
+            self.llx, self.lly, self.urx, self.ury
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_normalizes_corners() {
+        let r = Rect::new(10.0, 8.0, 2.0, 4.0);
+        assert_eq!(r, Rect::new(2.0, 4.0, 10.0, 8.0));
+        assert!(r.width() >= 0.0 && r.height() >= 0.0);
+    }
+
+    #[test]
+    fn intersection_commutes() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, -2.0, 20.0, 3.0);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(5.0, 0.0, 10.0, 3.0));
+    }
+
+    #[test]
+    fn touching_edges_do_not_intersect() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(10.0, 0.0, 20.0, 10.0);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(5.0, 5.0, 6.0, 7.0);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    #[test]
+    fn expand_then_shrink_roundtrips() {
+        let a = Rect::new(2.0, 2.0, 8.0, 8.0);
+        let grown = a.expand(1.5);
+        assert_eq!(grown.expand(-1.5), a);
+    }
+
+    #[test]
+    fn shrink_past_center_collapses() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let s = a.expand(-5.0);
+        assert_eq!(s.area(), 0.0);
+        assert_eq!(s.center(), a.center());
+    }
+
+    #[test]
+    fn clamp_into_restricts_to_outer() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(-5.0, 3.0, 25.0, 12.0).clamp_into(&outer);
+        assert!(outer.contains_rect(&inner));
+        assert_eq!(inner, Rect::new(0.0, 3.0, 10.0, 10.0));
+    }
+}

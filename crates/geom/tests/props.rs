@@ -1,0 +1,83 @@
+//! Property-based tests for the geometry primitives.
+
+use geom::{Grid2d, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+    )
+        .prop_map(|(a, b, c, d)| Rect::new(a, b, c, d))
+}
+
+proptest! {
+    #[test]
+    fn rect_is_always_normalized(r in arb_rect()) {
+        prop_assert!(r.llx <= r.urx);
+        prop_assert!(r.lly <= r.ury);
+        prop_assert!(r.area() >= 0.0);
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn manhattan_at_least_euclidean(
+        ax in -50.0f64..50.0, ay in -50.0f64..50.0,
+        bx in -50.0f64..50.0, by in -50.0f64..50.0,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        prop_assert!(a.manhattan_to(b) + 1e-9 >= a.distance_to(b));
+    }
+
+    #[test]
+    fn triangle_inequality(
+        ax in -50.0f64..50.0, ay in -50.0f64..50.0,
+        bx in -50.0f64..50.0, by in -50.0f64..50.0,
+        cx in -50.0f64..50.0, cy in -50.0f64..50.0,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+    }
+
+    #[test]
+    fn splat_conserves_mass_for_interior_rects(
+        x in 0.0f64..30.0, y in 0.0f64..30.0,
+        w in 0.1f64..10.0, h in 0.1f64..10.0,
+        amount in 0.0f64..100.0,
+    ) {
+        let mut g = Grid2d::new(8, 8, Rect::new(0.0, 0.0, 40.0, 40.0), 0.0);
+        let r = Rect::new(x, y, x + w, y + h);
+        g.splat(&r, amount);
+        // Interior rectangles deposit everything.
+        prop_assert!((g.sum() - amount).abs() < 1e-9 * amount.max(1.0));
+    }
+
+    #[test]
+    fn bin_of_agrees_with_bin_rect(
+        x in 0.0f64..40.0, y in 0.0f64..40.0,
+    ) {
+        let g = Grid2d::new(5, 7, Rect::new(0.0, 0.0, 40.0, 40.0), 0.0f64);
+        let (ix, iy) = g.bin_of(x, y).expect("inside extent");
+        let r = g.bin_rect(ix, iy);
+        prop_assert!(r.contains(Point::new(x, y)));
+    }
+}

@@ -1,0 +1,90 @@
+use netlist::NetId;
+
+/// Per-net switching activity accumulated over a simulation run — the
+/// "annotated switching activity" the power estimator consumes.
+///
+/// # Examples
+///
+/// ```
+/// use logicsim::Activity;
+/// use netlist::NetId;
+///
+/// let act = Activity::new(100, vec![50, 0, 25]);
+/// assert_eq!(act.switching_activity(NetId::new(0)), 0.5);
+/// assert_eq!(act.switching_activity(NetId::new(1)), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    cycles: u64,
+    toggles: Vec<u64>,
+}
+
+impl Activity {
+    /// Wraps raw toggle counts measured over `cycles` clock cycles.
+    pub fn new(cycles: u64, toggles: Vec<u64>) -> Self {
+        Activity { cycles, toggles }
+    }
+
+    /// Clock cycles observed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Raw toggle count of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn toggles(&self, net: NetId) -> u64 {
+        self.toggles[net.index()]
+    }
+
+    /// Switching activity of a net: toggles per clock cycle (0 when no
+    /// cycles were simulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn switching_activity(&self, net: NetId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.toggles[net.index()] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean switching activity across all nets.
+    pub fn mean_activity(&self) -> f64 {
+        if self.cycles == 0 || self.toggles.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.toggles.iter().sum();
+        total as f64 / (self.cycles as f64 * self.toggles.len() as f64)
+    }
+
+    /// Number of nets covered.
+    pub fn net_count(&self) -> usize {
+        self.toggles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_is_toggles_over_cycles() {
+        let act = Activity::new(200, vec![100, 200, 0]);
+        assert_eq!(act.switching_activity(NetId::new(0)), 0.5);
+        assert_eq!(act.switching_activity(NetId::new(1)), 1.0);
+        assert_eq!(act.switching_activity(NetId::new(2)), 0.0);
+        assert!((act.mean_activity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_activity() {
+        let act = Activity::new(0, vec![0, 0]);
+        assert_eq!(act.switching_activity(NetId::new(0)), 0.0);
+        assert_eq!(act.mean_activity(), 0.0);
+    }
+}

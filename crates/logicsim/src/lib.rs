@@ -1,0 +1,38 @@
+//! Cycle-based gate-level logic simulation with switching-activity
+//! annotation — the workspace's substitute for the paper's Synopsys VCS +
+//! "annotated switching activity of randomly generated test vectors".
+//!
+//! The whole benchmark is a single synchronous domain (1 GHz in the paper),
+//! so a two-valued, zero-delay, cycle-based simulator is sufficient: each
+//! [`Simulator::step`] commits all flip-flops on the implicit clock edge
+//! and re-settles the combinational logic in topological order, counting
+//! per-net toggles along the way.
+//!
+//! Workloads drive the primary inputs of each *unit* independently
+//! ([`Workload`]), which is exactly how the paper controls the size and
+//! position of thermal hotspots.
+//!
+//! # Examples
+//!
+//! ```
+//! use logicsim::{Simulator, Workload};
+//! use arithgen::{build_benchmark, BenchmarkConfig, UnitRole};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = build_benchmark(&BenchmarkConfig::small())?;
+//! let workload = Workload::with_active_units(&nl, &[UnitRole::ArrayMult.unit_id()], 0.5);
+//! let mut sim = Simulator::new(&nl);
+//! sim.run_workload(&workload, 256, 42);
+//! let activity = sim.activity();
+//! assert_eq!(activity.cycles(), 256);
+//! # Ok(())
+//! # }
+//! ```
+
+mod activity;
+mod sim;
+mod workload;
+
+pub use activity::Activity;
+pub use sim::Simulator;
+pub use workload::{UnitMode, Workload};

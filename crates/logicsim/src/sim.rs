@@ -1,0 +1,305 @@
+use netlist::{topo_order, CellId, NetDriver, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Activity, Workload};
+
+/// Two-valued, cycle-based simulator over a validated [`Netlist`].
+///
+/// See the [crate docs](crate) for the simulation semantics and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    topo: Vec<CellId>,
+    ffs: Vec<CellId>,
+    values: Vec<bool>,
+    prev_values: Vec<bool>,
+    toggles: Vec<u64>,
+    cycles: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with all state initialized to logic 0 and the
+    /// combinational logic settled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational cycle — impossible
+    /// for netlists produced by [`netlist::NetlistBuilder::finish`], which
+    /// validates this.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let topo = topo_order(netlist).expect("validated netlist is acyclic");
+        let ffs = netlist
+            .cells()
+            .filter(|(_, c)| {
+                netlist
+                    .library()
+                    .cell(c.master())
+                    .function()
+                    .is_sequential()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let mut sim = Simulator {
+            netlist,
+            topo,
+            ffs,
+            values: vec![false; netlist.net_count()],
+            prev_values: vec![false; netlist.net_count()],
+            toggles: vec![0; netlist.net_count()],
+            cycles: 0,
+        };
+        sim.eval_combinational();
+        sim.prev_values.copy_from_slice(&sim.values);
+        sim
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Number of clock cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Current logic value of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn net_value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Drives a primary-input net. The value takes effect at the next
+    /// [`Simulator::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not driven by an input port.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        assert!(
+            matches!(self.netlist.net(net).driver(), NetDriver::Port(_)),
+            "net {net} is not a primary input"
+        );
+        self.values[net.index()] = value;
+    }
+
+    /// Drives a bus of primary-input nets (LSB first) from an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any net is not a primary input.
+    pub fn set_input_bus(&mut self, nets: &[NetId], value: u128) {
+        for (i, &net) in nets.iter().enumerate() {
+            self.set_input(net, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Reads a bus of nets (LSB first) as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is wider than 128 bits.
+    pub fn read_bus(&self, nets: &[NetId]) -> u128 {
+        assert!(nets.len() <= 128, "bus too wide for u128");
+        nets.iter().enumerate().fold(0u128, |acc, (i, &n)| {
+            acc | ((self.net_value(n) as u128) << i)
+        })
+    }
+
+    fn eval_combinational(&mut self) {
+        let lib = self.netlist.library();
+        let mut inputs = [false; 3];
+        let mut outputs = [false; 2];
+        for &cell_id in &self.topo {
+            let cell = self.netlist.cell(cell_id);
+            let f = lib.cell(cell.master()).function();
+            let ni = f.input_count();
+            let no = f.output_count();
+            for (slot, &pin) in cell.input_pins().iter().enumerate() {
+                inputs[slot] = self.values[self.netlist.pin(pin).net().index()];
+            }
+            f.eval(&inputs[..ni], &mut outputs[..no]);
+            for (slot, &pin) in cell.output_pins().iter().enumerate() {
+                self.values[self.netlist.pin(pin).net().index()] = outputs[slot];
+            }
+        }
+    }
+
+    /// Advances one clock cycle: commits every flip-flop (`Q ← D`),
+    /// re-settles the combinational logic, and accumulates per-net toggle
+    /// counts against the previous settled state.
+    pub fn step(&mut self) {
+        // Capture all D inputs simultaneously…
+        let captured: Vec<bool> = self
+            .ffs
+            .iter()
+            .map(|&ff| {
+                let d_pin = self.netlist.cell(ff).input_pins()[0];
+                self.values[self.netlist.pin(d_pin).net().index()]
+            })
+            .collect();
+        // …then commit to the Q outputs.
+        for (&ff, &q) in self.ffs.iter().zip(&captured) {
+            let q_pin = self.netlist.cell(ff).output_pins()[0];
+            self.values[self.netlist.pin(q_pin).net().index()] = q;
+        }
+        self.eval_combinational();
+        for i in 0..self.values.len() {
+            if self.values[i] != self.prev_values[i] {
+                self.toggles[i] += 1;
+            }
+        }
+        self.prev_values.copy_from_slice(&self.values);
+        self.cycles += 1;
+    }
+
+    /// Runs `cycles` clock cycles driving primary inputs per `workload`
+    /// with a deterministic RNG seeded by `seed`.
+    ///
+    /// Inputs of *active* units receive fresh random bits each cycle with
+    /// the unit's toggle probability; inputs of *idle* units are held at
+    /// their current value, so after one cycle an idle unit's data path is
+    /// completely quiet (only its flip-flops' internal clock energy
+    /// remains — exactly the paper's workload-controlled hotspots).
+    pub fn run_workload(&mut self, workload: &Workload, cycles: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Snapshot the port nets and their owning units once.
+        let ports: Vec<(NetId, netlist::UnitId)> = self
+            .netlist
+            .input_ports()
+            .iter()
+            .map(|p| (p.net(), p.unit()))
+            .collect();
+        for _ in 0..cycles {
+            for &(net, unit) in &ports {
+                if let Some(p) = workload.toggle_probability(unit) {
+                    if rng.gen_bool(p) {
+                        let v = self.values[net.index()];
+                        self.values[net.index()] = !v;
+                    }
+                }
+            }
+            self.step();
+        }
+    }
+
+    /// The per-net switching activity accumulated so far.
+    pub fn activity(&self) -> Activity {
+        Activity::new(self.cycles, self.toggles.clone())
+    }
+
+    /// Resets toggle counters and the cycle count (state is kept).
+    pub fn reset_activity(&mut self) {
+        self.toggles.iter_mut().for_each(|t| *t = 0);
+        self.cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::NetlistBuilder;
+    use stdcell::{CellFunction, Drive, Library};
+
+    fn inv_chain() -> (Netlist, Vec<NetId>) {
+        let mut b = NetlistBuilder::new("chain", Library::c65());
+        let u = b.add_unit("u");
+        let a = b.input_port("a", u);
+        let n1 = b.net("n1");
+        let n2 = b.net("n2");
+        b.cell(u, CellFunction::Inv, Drive::X1, &[a], &[n1])
+            .unwrap();
+        b.cell(u, CellFunction::Inv, Drive::X1, &[n1], &[n2])
+            .unwrap();
+        let nl = b.finish().unwrap();
+        (nl, vec![a, n1, n2])
+    }
+
+    #[test]
+    fn combinational_settles_on_construction() {
+        let (nl, nets) = inv_chain();
+        let sim = Simulator::new(&nl);
+        assert!(!sim.net_value(nets[0]));
+        assert!(sim.net_value(nets[1]));
+        assert!(!sim.net_value(nets[2]));
+    }
+
+    #[test]
+    fn input_propagates_on_step() {
+        let (nl, nets) = inv_chain();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input(nets[0], true);
+        sim.step();
+        assert!(!sim.net_value(nets[1]));
+        assert!(sim.net_value(nets[2]));
+        // Toggle counts: all three nets flipped exactly once.
+        let act = sim.activity();
+        for &n in &nets {
+            assert_eq!(act.toggles(n), 1, "net {n}");
+        }
+    }
+
+    #[test]
+    fn dff_delays_by_one_cycle() {
+        let mut b = NetlistBuilder::new("ff", Library::c65());
+        let u = b.add_unit("u");
+        let d = b.input_port("d", u);
+        let q = b.net("q");
+        b.cell(u, CellFunction::Dff, Drive::X1, &[d], &[q]).unwrap();
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input(d, true);
+        assert!(!sim.net_value(q), "not yet clocked");
+        sim.step();
+        assert!(sim.net_value(q), "captured on the edge");
+        sim.set_input(d, false);
+        sim.step();
+        assert!(!sim.net_value(q));
+    }
+
+    #[test]
+    fn held_inputs_mean_zero_toggles_after_settling() {
+        let (nl, nets) = inv_chain();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input(nets[0], true);
+        sim.step();
+        sim.reset_activity();
+        for _ in 0..10 {
+            sim.step();
+        }
+        let act = sim.activity();
+        for &n in &nets {
+            assert_eq!(act.toggles(n), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn driving_internal_net_panics() {
+        let (nl, nets) = inv_chain();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input(nets[1], true);
+    }
+
+    #[test]
+    fn bus_roundtrip() {
+        let mut b = NetlistBuilder::new("bus", Library::c65());
+        let u = b.add_unit("u");
+        let a = b.input_bus("a", 8, u);
+        let y: Vec<NetId> = a.iter().map(|_| b.auto_net()).collect();
+        for i in 0..8 {
+            b.cell(u, CellFunction::Buf, Drive::X1, &[a[i]], &[y[i]])
+                .unwrap();
+        }
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input_bus(&a, 0xA5);
+        sim.step();
+        assert_eq!(sim.read_bus(&y), 0xA5);
+    }
+}

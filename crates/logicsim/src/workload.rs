@@ -1,0 +1,162 @@
+use netlist::{Netlist, UnitId};
+
+/// Drive mode of one unit's primary inputs during simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitMode {
+    /// Inputs receive fresh random transitions; each input bit flips each
+    /// cycle with the given probability (0..=1).
+    Active {
+        /// Per-cycle, per-bit flip probability.
+        toggle_probability: f64,
+    },
+    /// Inputs are held constant — after one cycle the unit's data path is
+    /// completely quiet.
+    Idle,
+}
+
+/// Per-unit input drive specification — the knob the paper turns to place
+/// hotspots ("we are able \[to\] control the size and position of hotspots
+/// using different workloads").
+///
+/// # Examples
+///
+/// ```
+/// use logicsim::{UnitMode, Workload};
+/// use arithgen::{build_benchmark, BenchmarkConfig, UnitRole};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = build_benchmark(&BenchmarkConfig::small())?;
+/// let mut w = Workload::all_idle(&nl);
+/// w.set_mode(UnitRole::Mac.unit_id(), UnitMode::Active { toggle_probability: 0.4 });
+/// assert_eq!(w.active_units().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    modes: Vec<UnitMode>,
+}
+
+impl Workload {
+    /// All units idle.
+    pub fn all_idle(netlist: &Netlist) -> Self {
+        Workload {
+            modes: vec![UnitMode::Idle; netlist.unit_count()],
+        }
+    }
+
+    /// Every unit active with the same toggle probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `toggle_probability` is outside `[0, 1]`.
+    pub fn uniform(netlist: &Netlist, toggle_probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&toggle_probability));
+        Workload {
+            modes: vec![UnitMode::Active { toggle_probability }; netlist.unit_count()],
+        }
+    }
+
+    /// Only `active` units toggle (at `toggle_probability`); the rest idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `toggle_probability` is outside `[0, 1]` or a unit id is
+    /// out of range.
+    pub fn with_active_units(
+        netlist: &Netlist,
+        active: &[UnitId],
+        toggle_probability: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&toggle_probability));
+        let mut w = Workload::all_idle(netlist);
+        for &u in active {
+            w.set_mode(u, UnitMode::Active { toggle_probability });
+        }
+        w
+    }
+
+    /// Sets the drive mode of one unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn set_mode(&mut self, unit: UnitId, mode: UnitMode) {
+        self.modes[unit.index()] = mode;
+    }
+
+    /// The drive mode of `unit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn mode(&self, unit: UnitId) -> UnitMode {
+        self.modes[unit.index()]
+    }
+
+    /// The flip probability for `unit`'s inputs, or `None` when idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn toggle_probability(&self, unit: UnitId) -> Option<f64> {
+        match self.modes[unit.index()] {
+            UnitMode::Active { toggle_probability } => Some(toggle_probability),
+            UnitMode::Idle => None,
+        }
+    }
+
+    /// Ids of all active units.
+    pub fn active_units(&self) -> Vec<UnitId> {
+        self.modes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| matches!(m, UnitMode::Active { .. }))
+            .map(|(i, _)| UnitId::new(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::NetlistBuilder;
+    use stdcell::Library;
+
+    fn three_unit_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("t", Library::c65());
+        for i in 0..3 {
+            b.add_unit(format!("u{i}"));
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn uniform_activates_everything() {
+        let nl = three_unit_netlist();
+        let w = Workload::uniform(&nl, 0.3);
+        assert_eq!(w.active_units().len(), 3);
+        assert_eq!(w.toggle_probability(UnitId::new(1)), Some(0.3));
+    }
+
+    #[test]
+    fn selective_activation() {
+        let nl = three_unit_netlist();
+        let w = Workload::with_active_units(&nl, &[UnitId::new(2)], 0.5);
+        assert_eq!(w.active_units(), vec![UnitId::new(2)]);
+        assert_eq!(w.toggle_probability(UnitId::new(0)), None);
+        assert_eq!(
+            w.mode(UnitId::new(2)),
+            UnitMode::Active {
+                toggle_probability: 0.5
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_rejected() {
+        let nl = three_unit_netlist();
+        let _ = Workload::uniform(&nl, 1.5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based simulation invariants on the small benchmark.
+
+use arithgen::{build_benchmark, BenchmarkConfig, UnitRole};
+use logicsim::{Simulator, Workload};
+use proptest::prelude::*;
+
+fn netlist() -> netlist::Netlist {
+    build_benchmark(&BenchmarkConfig::small()).expect("benchmark")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn same_seed_same_activity(seed in any::<u64>(), prob in 0.05f64..0.95) {
+        let nl = netlist();
+        let w = Workload::uniform(&nl, prob);
+        let run = |nl: &netlist::Netlist| {
+            let mut sim = Simulator::new(nl);
+            sim.run_workload(&w, 64, seed);
+            sim.activity()
+        };
+        prop_assert_eq!(run(&nl), run(&nl));
+    }
+
+    #[test]
+    fn switching_activity_is_bounded(seed in any::<u64>(), prob in 0.05f64..0.95) {
+        let nl = netlist();
+        let w = Workload::uniform(&nl, prob);
+        let mut sim = Simulator::new(&nl);
+        sim.run_workload(&w, 64, seed);
+        let act = sim.activity();
+        for (id, _) in nl.nets() {
+            let a = act.switching_activity(id);
+            prop_assert!((0.0..=1.0).contains(&a), "net {id}: activity {a}");
+        }
+    }
+
+    #[test]
+    fn idle_units_never_toggle(
+        seed in any::<u64>(),
+        active_idx in 0usize..9,
+    ) {
+        let nl = netlist();
+        let active = UnitRole::ALL[active_idx].unit_id();
+        let w = Workload::with_active_units(&nl, &[active], 0.5);
+        let mut sim = Simulator::new(&nl);
+        sim.run_workload(&w, 8, seed);     // settle
+        sim.reset_activity();
+        sim.run_workload(&w, 48, seed.wrapping_add(1));
+        let act = sim.activity();
+        for (_, cell) in nl.cells() {
+            if cell.unit() == active {
+                continue;
+            }
+            for &pin in cell.output_pins() {
+                prop_assert_eq!(
+                    act.toggles(nl.pin(pin).net()),
+                    0,
+                    "idle unit {} toggled",
+                    cell.unit()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_toggle_probability_means_more_activity(seed in any::<u64>()) {
+        let nl = netlist();
+        let run = |prob: f64| {
+            let w = Workload::uniform(&nl, prob);
+            let mut sim = Simulator::new(&nl);
+            sim.run_workload(&w, 128, seed);
+            sim.activity().mean_activity()
+        };
+        let low = run(0.05);
+        let high = run(0.8);
+        prop_assert!(high > low, "high {high} vs low {low}");
+    }
+}

@@ -1,0 +1,71 @@
+use crate::{CellId, NetId};
+
+/// Errors reported while building or validating a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A net already has a driver and a second one was connected.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: NetId,
+        /// The net's name, for diagnostics.
+        net_name: String,
+    },
+    /// A net has sinks but no driver (floating input).
+    FloatingNet {
+        /// The undriven net.
+        net: NetId,
+        /// The net's name, for diagnostics.
+        net_name: String,
+    },
+    /// The combinational logic contains a cycle not broken by a register.
+    CombinationalCycle {
+        /// A cell on the cycle.
+        cell: CellId,
+        /// The cell's instance name, for diagnostics.
+        cell_name: String,
+    },
+    /// A requested function/drive pair is missing from the library.
+    MissingMaster {
+        /// Human-readable description of the missing master.
+        wanted: String,
+    },
+    /// Wrong number of input or output nets for a cell function.
+    ArityMismatch {
+        /// The function that was instantiated.
+        function: String,
+        /// How many inputs/outputs were expected.
+        expected: (usize, usize),
+        /// How many were provided.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net, net_name } => {
+                write!(f, "net {net} ({net_name}) has multiple drivers")
+            }
+            NetlistError::FloatingNet { net, net_name } => {
+                write!(f, "net {net} ({net_name}) has sinks but no driver")
+            }
+            NetlistError::CombinationalCycle { cell, cell_name } => {
+                write!(f, "combinational cycle through cell {cell} ({cell_name})")
+            }
+            NetlistError::MissingMaster { wanted } => {
+                write!(f, "library has no master for {wanted}")
+            }
+            NetlistError::ArityMismatch {
+                function,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{function} expects {}/{} input/output nets, got {}/{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,163 @@
+use std::collections::BTreeMap;
+
+use crate::{Netlist, UnitId};
+
+/// Per-unit summary used by floorplanning and reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitStats {
+    /// The unit described.
+    pub unit: UnitId,
+    /// The unit's name.
+    pub name: String,
+    /// Cell instances in the unit.
+    pub cell_count: usize,
+    /// Total standard-cell area in µm².
+    pub cell_area_um2: f64,
+    /// Sequential (flip-flop) instances in the unit.
+    pub sequential_count: usize,
+}
+
+/// Whole-design summary statistics.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{NetlistBuilder, NetlistStats};
+/// use stdcell::{CellFunction, Drive, Library};
+///
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t", Library::c65());
+/// let u = b.add_unit("u");
+/// let a = b.input_port("a", u);
+/// let y = b.net("y");
+/// b.cell(u, CellFunction::Inv, Drive::X1, &[a], &[y])?;
+/// let stats = NetlistStats::of(&b.finish()?);
+/// assert_eq!(stats.cell_count, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total cell instances.
+    pub cell_count: usize,
+    /// Total nets.
+    pub net_count: usize,
+    /// Total pins.
+    pub pin_count: usize,
+    /// Sequential instances.
+    pub sequential_count: usize,
+    /// Total standard-cell area in µm².
+    pub cell_area_um2: f64,
+    /// Instance counts keyed by master name, sorted for stable reporting.
+    pub by_master: BTreeMap<String, usize>,
+    /// Per-unit breakdowns, in unit id order.
+    pub units: Vec<UnitStats>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let lib = netlist.library();
+        let mut by_master = BTreeMap::new();
+        let mut sequential_count = 0;
+        let mut units: Vec<UnitStats> = netlist
+            .units()
+            .map(|(id, u)| UnitStats {
+                unit: id,
+                name: u.name().to_string(),
+                cell_count: 0,
+                cell_area_um2: 0.0,
+                sequential_count: 0,
+            })
+            .collect();
+        for (_, cell) in netlist.cells() {
+            let def = lib.cell(cell.master());
+            *by_master.entry(def.name().to_string()).or_insert(0) += 1;
+            let ustats = &mut units[cell.unit().index()];
+            ustats.cell_count += 1;
+            ustats.cell_area_um2 += lib.cell_area_um2(cell.master());
+            if def.function().is_sequential() {
+                sequential_count += 1;
+                ustats.sequential_count += 1;
+            }
+        }
+        NetlistStats {
+            cell_count: netlist.cell_count(),
+            net_count: netlist.net_count(),
+            pin_count: netlist.pins.len(),
+            sequential_count,
+            cell_area_um2: netlist.total_cell_area_um2(),
+            by_master,
+            units,
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cells={} nets={} pins={} seq={} area={:.1}um2",
+            self.cell_count,
+            self.net_count,
+            self.pin_count,
+            self.sequential_count,
+            self.cell_area_um2
+        )?;
+        for u in &self.units {
+            writeln!(
+                f,
+                "  {}: {} cells, {:.1} um2, {} ffs",
+                u.name, u.cell_count, u.cell_area_um2, u.sequential_count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+    use stdcell::{CellFunction, Drive, Library};
+
+    #[test]
+    fn per_unit_accounting_sums_to_total() {
+        let mut b = NetlistBuilder::new("two_units", Library::c65());
+        let u0 = b.add_unit("u0");
+        let u1 = b.add_unit("u1");
+        let a = b.input_port("a", u0);
+        let n0 = b.net("n0");
+        let n1 = b.net("n1");
+        let n2 = b.net("n2");
+        b.cell(u0, CellFunction::Inv, Drive::X1, &[a], &[n0])
+            .unwrap();
+        b.cell(u0, CellFunction::Dff, Drive::X1, &[n0], &[n1])
+            .unwrap();
+        b.cell(u1, CellFunction::Buf, Drive::X2, &[n1], &[n2])
+            .unwrap();
+        let nl = b.finish().unwrap();
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.cell_count, 3);
+        assert_eq!(stats.sequential_count, 1);
+        let unit_total: usize = stats.units.iter().map(|u| u.cell_count).sum();
+        assert_eq!(unit_total, stats.cell_count);
+        let unit_area: f64 = stats.units.iter().map(|u| u.cell_area_um2).sum();
+        assert!((unit_area - stats.cell_area_um2).abs() < 1e-9);
+        assert_eq!(stats.units[0].sequential_count, 1);
+        assert_eq!(stats.units[1].sequential_count, 0);
+    }
+
+    #[test]
+    fn by_master_counts_instances() {
+        let mut b = NetlistBuilder::new("m", Library::c65());
+        let u = b.add_unit("u");
+        let a = b.input_port("a", u);
+        for i in 0..3 {
+            let n = b.net(format!("n{i}"));
+            b.cell(u, CellFunction::Inv, Drive::X1, &[a], &[n]).unwrap();
+        }
+        let stats = NetlistStats::of(&b.finish().unwrap());
+        assert_eq!(stats.by_master.get("IVLL_X1"), Some(&3));
+    }
+}

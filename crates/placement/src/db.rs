@@ -1,0 +1,360 @@
+use std::collections::BTreeMap;
+
+use geom::{Point, Rect};
+use netlist::{CellId, Netlist};
+use serde::{Deserialize, Serialize};
+use stdcell::LibCellId;
+
+use crate::Floorplan;
+
+/// A cell's placement slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedCell {
+    /// Row index (0 = bottom).
+    pub row: u32,
+    /// Leftmost occupied site within the row.
+    pub site: u32,
+}
+
+/// A placed filler (dummy) cell. Fillers are placement artifacts, not
+/// netlist content: zero power, zero pins, rail continuity only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FillerInst {
+    /// The filler master in the library.
+    pub master: LibCellId,
+    /// Row index.
+    pub row: u32,
+    /// Leftmost occupied site.
+    pub site: u32,
+    /// Width in sites (cached from the master).
+    pub width_sites: u32,
+}
+
+/// The placement database: a slot per netlist cell plus per-row occupancy
+/// indexes for fast gap queries, and the filler list.
+///
+/// # Examples
+///
+/// ```
+/// use arithgen::{build_benchmark, BenchmarkConfig};
+/// use placement::{Placer, PlacerConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = build_benchmark(&BenchmarkConfig::small())?;
+/// let result = Placer::new(PlacerConfig::default()).place(&nl)?;
+/// let (cell, _) = nl.cells().next().expect("non-empty design");
+/// let rect = result.placement.cell_rect(&nl, &result.floorplan, cell);
+/// assert!(result.floorplan.core().contains_rect(&rect.expect("placed")));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    slots: Vec<Option<PlacedCell>>,
+    fillers: Vec<FillerInst>,
+    /// Per-row map `site → (cell, width_sites)` for occupancy queries.
+    row_index: Vec<BTreeMap<u32, (CellId, u32)>>,
+}
+
+impl Placement {
+    /// An empty placement for `netlist` over `floorplan`.
+    pub fn new(netlist: &Netlist, floorplan: &Floorplan) -> Self {
+        Placement {
+            slots: vec![None; netlist.cell_count()],
+            fillers: Vec::new(),
+            row_index: vec![BTreeMap::new(); floorplan.num_rows()],
+        }
+    }
+
+    /// Width of `cell` in sites.
+    fn width_of(netlist: &Netlist, cell: CellId) -> u32 {
+        netlist
+            .library()
+            .cell(netlist.cell(cell).master())
+            .width_sites()
+    }
+
+    /// Places (or moves) `cell` at `(row, site)`. Clears any fillers — the
+    /// caller refills whitespace after a batch of moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot would overlap another cell or leave the row.
+    pub fn place(
+        &mut self,
+        netlist: &Netlist,
+        floorplan: &Floorplan,
+        cell: CellId,
+        row: u32,
+        site: u32,
+    ) {
+        let width = Self::width_of(netlist, cell);
+        assert!(
+            (row as usize) < floorplan.num_rows(),
+            "row {row} out of range"
+        );
+        assert!(
+            site + width <= floorplan.row(row as usize).num_sites,
+            "cell {cell} leaves row {row} (site {site} width {width})"
+        );
+        assert!(
+            self.fits(row, site, width),
+            "cell {cell} overlaps at row {row} site {site}"
+        );
+        self.remove(cell);
+        self.slots[cell.index()] = Some(PlacedCell { row, site });
+        self.row_index[row as usize].insert(site, (cell, width));
+        self.fillers.clear();
+    }
+
+    /// Removes `cell` from the placement (no-op when unplaced).
+    pub fn remove(&mut self, cell: CellId) {
+        if let Some(pc) = self.slots[cell.index()].take() {
+            self.row_index[pc.row as usize].remove(&pc.site);
+            self.fillers.clear();
+        }
+    }
+
+    /// Whether `[site, site+width)` in `row` is free of placed cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn fits(&self, row: u32, site: u32, width: u32) -> bool {
+        let index = &self.row_index[row as usize];
+        // Previous occupant must end at or before `site`…
+        if let Some((&s, &(_, w))) = index.range(..=site).next_back() {
+            if s + w > site {
+                return false;
+            }
+        }
+        // …and the next must start at or after the end.
+        if let Some((&s, _)) = index.range(site..).next() {
+            if s < site + width {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The slot of `cell`, if placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn location(&self, cell: CellId) -> Option<PlacedCell> {
+        self.slots[cell.index()]
+    }
+
+    /// Whether every netlist cell is placed.
+    pub fn is_fully_placed(&self, netlist: &Netlist) -> bool {
+        netlist
+            .cells()
+            .all(|(id, _)| self.slots[id.index()].is_some())
+    }
+
+    /// The physical footprint of `cell`, if placed.
+    pub fn cell_rect(
+        &self,
+        netlist: &Netlist,
+        floorplan: &Floorplan,
+        cell: CellId,
+    ) -> Option<Rect> {
+        let pc = self.slots[cell.index()]?;
+        let width = Self::width_of(netlist, cell) as f64 * floorplan.site_width();
+        let x = floorplan.site_x(pc.row as usize, pc.site);
+        let y = floorplan.row(pc.row as usize).y;
+        Some(Rect::new(x, y, x + width, y + floorplan.row_height()))
+    }
+
+    /// The center point of `cell`, if placed.
+    pub fn cell_center(
+        &self,
+        netlist: &Netlist,
+        floorplan: &Floorplan,
+        cell: CellId,
+    ) -> Option<Point> {
+        self.cell_rect(netlist, floorplan, cell).map(|r| r.center())
+    }
+
+    /// Cells occupying `row`, in site order, as `(site, cell, width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_cells(&self, row: u32) -> Vec<(u32, CellId, u32)> {
+        self.row_index[row as usize]
+            .iter()
+            .map(|(&s, &(c, w))| (s, c, w))
+            .collect()
+    }
+
+    /// Free gaps in `row` as `(site, width)` pairs, in site order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_gaps(&self, floorplan: &Floorplan, row: u32) -> Vec<(u32, u32)> {
+        let total = floorplan.row(row as usize).num_sites;
+        let mut gaps = Vec::new();
+        let mut cursor = 0u32;
+        for (&site, &(_, width)) in &self.row_index[row as usize] {
+            if site > cursor {
+                gaps.push((cursor, site - cursor));
+            }
+            cursor = site + width;
+        }
+        if cursor < total {
+            gaps.push((cursor, total - cursor));
+        }
+        gaps
+    }
+
+    /// Fraction of `row`'s sites occupied by placed cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_utilization(&self, floorplan: &Floorplan, row: u32) -> f64 {
+        let used: u32 = self.row_index[row as usize].values().map(|&(_, w)| w).sum();
+        used as f64 / floorplan.row(row as usize).num_sites as f64
+    }
+
+    /// The placed fillers.
+    pub fn fillers(&self) -> &[FillerInst] {
+        &self.fillers
+    }
+
+    /// Replaces the filler list (used by [`crate::fill_whitespace`]).
+    pub fn set_fillers(&mut self, fillers: Vec<FillerInst>) {
+        self.fillers = fillers;
+    }
+
+    /// Iterates over placed cells as `(cell, slot)`.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, PlacedCell)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|pc| (CellId::new(i), pc)))
+    }
+
+    /// Rebuilds this placement onto a grown floorplan produced by
+    /// [`Floorplan::with_rows_inserted`], shifting each cell's row by the
+    /// supplied mapping. Fillers are dropped (refill afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is shorter than the occupied rows require.
+    pub fn remap_rows(&self, floorplan_new: &Floorplan, mapping: &[usize]) -> Placement {
+        let mut out = Placement {
+            slots: vec![None; self.slots.len()],
+            fillers: Vec::new(),
+            row_index: vec![BTreeMap::new(); floorplan_new.num_rows()],
+        };
+        for (cell, pc) in self.iter() {
+            let new_row = mapping[pc.row as usize] as u32;
+            out.slots[cell.index()] = Some(PlacedCell {
+                row: new_row,
+                site: pc.site,
+            });
+            let width = self.row_index[pc.row as usize]
+                .get(&pc.site)
+                .expect("indexed cell")
+                .1;
+            out.row_index[new_row as usize].insert(pc.site, (cell, width));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::NetlistBuilder;
+    use stdcell::{CellFunction, Drive, Library};
+
+    fn tiny() -> (Netlist, Floorplan) {
+        let mut b = NetlistBuilder::new("t", Library::c65());
+        let u = b.add_unit("u");
+        let a = b.input_port("a", u);
+        let mut prev = a;
+        for i in 0..4 {
+            let n = b.net(format!("n{i}"));
+            b.cell(u, CellFunction::Inv, Drive::X1, &[prev], &[n])
+                .unwrap();
+            prev = n;
+        }
+        let nl = b.finish().unwrap();
+        let fp = Floorplan::new(nl.library(), 30.0, 3);
+        (nl, fp)
+    }
+
+    #[test]
+    fn place_and_query_roundtrip() {
+        let (nl, fp) = tiny();
+        let mut p = Placement::new(&nl, &fp);
+        let cell = CellId::new(0);
+        p.place(&nl, &fp, cell, 1, 10);
+        assert_eq!(p.location(cell), Some(PlacedCell { row: 1, site: 10 }));
+        let rect = p.cell_rect(&nl, &fp, cell).unwrap();
+        assert!((rect.llx - 3.0).abs() < 1e-9); // 10 sites × 0.3 µm
+        assert!((rect.lly - 2.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let (nl, fp) = tiny();
+        let mut p = Placement::new(&nl, &fp);
+        p.place(&nl, &fp, CellId::new(0), 0, 10); // INV = 2 sites → [10,12)
+        assert!(!p.fits(0, 11, 2));
+        assert!(!p.fits(0, 9, 2));
+        assert!(p.fits(0, 12, 2));
+        assert!(p.fits(0, 8, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_place_panics() {
+        let (nl, fp) = tiny();
+        let mut p = Placement::new(&nl, &fp);
+        p.place(&nl, &fp, CellId::new(0), 0, 10);
+        p.place(&nl, &fp, CellId::new(1), 0, 11);
+    }
+
+    #[test]
+    fn moving_a_cell_frees_its_old_slot() {
+        let (nl, fp) = tiny();
+        let mut p = Placement::new(&nl, &fp);
+        let cell = CellId::new(0);
+        p.place(&nl, &fp, cell, 0, 10);
+        p.place(&nl, &fp, cell, 2, 0);
+        assert!(p.fits(0, 10, 2), "old slot is free again");
+        assert_eq!(p.row_cells(0).len(), 0);
+        assert_eq!(p.row_cells(2).len(), 1);
+    }
+
+    #[test]
+    fn gaps_cover_unoccupied_sites() {
+        let (nl, fp) = tiny();
+        let mut p = Placement::new(&nl, &fp);
+        p.place(&nl, &fp, CellId::new(0), 0, 10);
+        p.place(&nl, &fp, CellId::new(1), 0, 20);
+        let gaps = p.row_gaps(&fp, 0);
+        let total_sites = fp.row(0).num_sites;
+        let gap_sites: u32 = gaps.iter().map(|&(_, w)| w).sum();
+        assert_eq!(gap_sites + 4, total_sites); // two 2-site cells
+        assert_eq!(gaps[0], (0, 10));
+    }
+
+    #[test]
+    fn remap_rows_moves_cells_up() {
+        let (nl, fp) = tiny();
+        let mut p = Placement::new(&nl, &fp);
+        p.place(&nl, &fp, CellId::new(0), 0, 0);
+        p.place(&nl, &fp, CellId::new(1), 2, 6);
+        let (fp2, mapping) = fp.with_rows_inserted(&[1]);
+        let p2 = p.remap_rows(&fp2, &mapping);
+        assert_eq!(p2.location(CellId::new(0)).unwrap().row, 0);
+        assert_eq!(p2.location(CellId::new(1)).unwrap().row, 3);
+    }
+}

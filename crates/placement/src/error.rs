@@ -1,0 +1,60 @@
+/// Errors reported by the placer and whitespace filler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceError {
+    /// A unit's cells do not fit in its assigned region at the requested
+    /// utilization.
+    RegionOverflow {
+        /// The unit's name.
+        unit: String,
+        /// Sites required by the unit's cells.
+        needed_sites: u64,
+        /// Sites available in the region.
+        capacity_sites: u64,
+    },
+    /// The floorplan cannot hold the design at all.
+    CoreTooSmall {
+        /// Sites required.
+        needed_sites: u64,
+        /// Sites available.
+        capacity_sites: u64,
+    },
+    /// A whitespace gap could not be tiled with the library's fillers
+    /// (impossible with a 1-site filler present; indicates a broken
+    /// library).
+    UnfillableGap {
+        /// Row index.
+        row: u32,
+        /// Gap start site.
+        site: u32,
+        /// Gap width in sites.
+        width: u32,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::RegionOverflow {
+                unit,
+                needed_sites,
+                capacity_sites,
+            } => write!(
+                f,
+                "unit {unit} needs {needed_sites} sites but its region holds {capacity_sites}"
+            ),
+            PlaceError::CoreTooSmall {
+                needed_sites,
+                capacity_sites,
+            } => write!(
+                f,
+                "design needs {needed_sites} sites but the core holds {capacity_sites}"
+            ),
+            PlaceError::UnfillableGap { row, site, width } => write!(
+                f,
+                "cannot tile {width}-site gap at row {row}, site {site} with filler cells"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}

@@ -1,0 +1,133 @@
+//! Whitespace filling with dummy cells.
+//!
+//! The paper: "the available area overhead is filled with dummy cells
+//! which do not contain active transistors and consume zero power. They
+//! can guarantee the electrical continuity of power and ground rails in
+//! each layout row." Filling every gap completely is therefore a hard
+//! invariant, checked by [`crate::validate`].
+
+use netlist::Netlist;
+
+use crate::{FillerInst, Floorplan, PlaceError, Placement};
+
+/// Tiles every free gap of every row with filler cells (greedy, widest
+/// first). Replaces the placement's existing filler list.
+///
+/// # Errors
+///
+/// Returns [`PlaceError::UnfillableGap`] if a gap cannot be tiled — which
+/// cannot happen with the `c65` library's 1-site filler.
+pub fn fill_whitespace(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    placement: &mut Placement,
+) -> Result<(), PlaceError> {
+    let lib = netlist.library();
+    let masters = lib.fillers();
+    let mut fillers = Vec::new();
+    for row in 0..floorplan.num_rows() as u32 {
+        for (start, width) in placement.row_gaps(floorplan, row) {
+            let mut site = start;
+            let mut remaining = width;
+            while remaining > 0 {
+                let master = masters
+                    .iter()
+                    .copied()
+                    .find(|&m| lib.cell(m).width_sites() <= remaining)
+                    .ok_or(PlaceError::UnfillableGap {
+                        row,
+                        site,
+                        width: remaining,
+                    })?;
+                let w = lib.cell(master).width_sites();
+                fillers.push(FillerInst {
+                    master,
+                    row,
+                    site,
+                    width_sites: w,
+                });
+                site += w;
+                remaining -= w;
+            }
+        }
+    }
+    placement.set_fillers(fillers);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{CellId, NetlistBuilder};
+    use stdcell::{CellFunction, Drive, Library};
+
+    fn setup() -> (Netlist, Floorplan, Placement) {
+        let mut b = NetlistBuilder::new("t", Library::c65());
+        let u = b.add_unit("u");
+        let a = b.input_port("a", u);
+        let n0 = b.net("n0");
+        let n1 = b.net("n1");
+        b.cell(u, CellFunction::Inv, Drive::X1, &[a], &[n0])
+            .unwrap();
+        b.cell(u, CellFunction::Inv, Drive::X1, &[n0], &[n1])
+            .unwrap();
+        let nl = b.finish().unwrap();
+        let fp = Floorplan::new(nl.library(), 30.0, 2); // 100 sites/row
+        let p = Placement::new(&nl, &fp);
+        (nl, fp, p)
+    }
+
+    #[test]
+    fn fillers_cover_every_free_site() {
+        let (nl, fp, mut p) = setup();
+        p.place(&nl, &fp, CellId::new(0), 0, 37);
+        p.place(&nl, &fp, CellId::new(1), 1, 0);
+        fill_whitespace(&nl, &fp, &mut p).unwrap();
+        let filler_sites: u32 = p.fillers().iter().map(|f| f.width_sites).sum();
+        let cell_sites = 4; // two 2-site inverters
+        assert_eq!(filler_sites + cell_sites, fp.total_sites() as u32);
+    }
+
+    #[test]
+    fn fillers_do_not_overlap_cells_or_each_other() {
+        let (nl, fp, mut p) = setup();
+        p.place(&nl, &fp, CellId::new(0), 0, 37);
+        p.place(&nl, &fp, CellId::new(1), 0, 61);
+        fill_whitespace(&nl, &fp, &mut p).unwrap();
+        // Reconstruct per-row coverage and require exact tiling.
+        for row in 0..fp.num_rows() as u32 {
+            let mut spans: Vec<(u32, u32)> = p
+                .row_cells(row)
+                .into_iter()
+                .map(|(s, _, w)| (s, w))
+                .chain(
+                    p.fillers()
+                        .iter()
+                        .filter(|f| f.row == row)
+                        .map(|f| (f.site, f.width_sites)),
+                )
+                .collect();
+            spans.sort_unstable();
+            let mut cursor = 0;
+            for (s, w) in spans {
+                assert_eq!(s, cursor, "gap or overlap at row {row} site {s}");
+                cursor = s + w;
+            }
+            assert_eq!(cursor, fp.row(row as usize).num_sites);
+        }
+    }
+
+    #[test]
+    fn refilling_after_a_move_stays_consistent() {
+        let (nl, fp, mut p) = setup();
+        p.place(&nl, &fp, CellId::new(0), 0, 10);
+        fill_whitespace(&nl, &fp, &mut p).unwrap();
+        assert!(!p.fillers().is_empty());
+        // Moving a cell clears fillers (they may now overlap).
+        p.place(&nl, &fp, CellId::new(0), 1, 10);
+        assert!(p.fillers().is_empty());
+        fill_whitespace(&nl, &fp, &mut p).unwrap();
+        let filler_sites: u32 = p.fillers().iter().map(|f| f.width_sites).sum();
+        assert_eq!(filler_sites + 2, fp.total_sites() as u32);
+    }
+}

@@ -1,0 +1,291 @@
+use geom::{Rect, Um};
+use serde::{Deserialize, Serialize};
+use stdcell::Library;
+
+/// One layout row: a horizontal strip of placement sites.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Bottom edge of the row in microns.
+    pub y: Um,
+    /// Left edge of the first site in microns.
+    pub origin_x: Um,
+    /// Number of placement sites.
+    pub num_sites: u32,
+}
+
+/// The core outline and its layout rows.
+///
+/// All rows share the library's row height and site width; rows stack
+/// bottom-up with no gaps (row `r` spans `y = r · pitch`). The paper's
+/// empty-row-insertion technique grows this structure vertically — see
+/// [`Floorplan::with_rows_inserted`].
+///
+/// # Examples
+///
+/// ```
+/// use placement::Floorplan;
+/// use stdcell::Library;
+///
+/// let lib = Library::c65();
+/// let fp = Floorplan::new(&lib, 100.0, 10);
+/// assert_eq!(fp.num_rows(), 10);
+/// assert!((fp.core().height() - 27.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    core: Rect,
+    row_height: Um,
+    site_width: Um,
+    rows: Vec<Row>,
+}
+
+impl Floorplan {
+    /// Creates a floorplan of `num_rows` full-width rows over a core of
+    /// the given width, using the library's row/site geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_width` is not positive or `num_rows` is zero.
+    pub fn new(library: &Library, core_width: Um, num_rows: usize) -> Self {
+        assert!(core_width > 0.0, "core width must be positive");
+        assert!(num_rows > 0, "need at least one row");
+        let site_width = library.site_width_um();
+        let row_height = library.row_height_um();
+        let sites = (core_width / site_width).floor() as u32;
+        assert!(sites > 0, "core width below one site");
+        let width = sites as f64 * site_width;
+        let rows = (0..num_rows)
+            .map(|r| Row {
+                y: r as f64 * row_height,
+                origin_x: 0.0,
+                num_sites: sites,
+            })
+            .collect();
+        Floorplan {
+            core: Rect::new(0.0, 0.0, width, num_rows as f64 * row_height),
+            row_height,
+            site_width,
+            rows,
+        }
+    }
+
+    /// Sizes a roughly square floorplan for `cell_area_um2` of standard
+    /// cells at the given row-utilization factor ("total cell area divided
+    /// by core area", as the paper defines it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]` or the area is not
+    /// positive.
+    pub fn for_cell_area(library: &Library, cell_area_um2: f64, utilization: f64) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        assert!(cell_area_um2 > 0.0, "cell area must be positive");
+        let core_area = cell_area_um2 / utilization;
+        let side = core_area.sqrt();
+        let num_rows = (side / library.row_height_um()).round().max(1.0) as usize;
+        // Recompute the width so the area target is met despite row
+        // quantization.
+        let width = core_area / (num_rows as f64 * library.row_height_um());
+        Floorplan::new(library, width.max(library.site_width_um()), num_rows)
+    }
+
+    /// The core outline.
+    pub fn core(&self) -> Rect {
+        self.core
+    }
+
+    /// Row pitch (= row height) in microns.
+    pub fn row_height(&self) -> Um {
+        self.row_height
+    }
+
+    /// Site width in microns.
+    pub fn site_width(&self) -> Um {
+        self.site_width
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The row at index `r` (0 = bottom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &Row {
+        &self.rows[r]
+    }
+
+    /// All rows, bottom-up.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The x coordinate of the left edge of `site` in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range.
+    pub fn site_x(&self, r: usize, site: u32) -> Um {
+        self.rows[r].origin_x + site as f64 * self.site_width
+    }
+
+    /// The rectangle of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range.
+    pub fn row_rect(&self, r: usize) -> Rect {
+        let row = &self.rows[r];
+        Rect::new(
+            row.origin_x,
+            row.y,
+            row.origin_x + row.num_sites as f64 * self.site_width,
+            row.y + self.row_height,
+        )
+    }
+
+    /// The row index whose strip contains `y`, if inside the core.
+    pub fn row_at(&self, y: Um) -> Option<usize> {
+        if y < self.core.lly || y > self.core.ury {
+            return None;
+        }
+        Some(((y / self.row_height) as usize).min(self.rows.len() - 1))
+    }
+
+    /// Total placement capacity in sites.
+    pub fn total_sites(&self) -> u64 {
+        self.rows.iter().map(|r| r.num_sites as u64).sum()
+    }
+
+    /// Achieved utilization for `cell_area_um2` of placed cells.
+    pub fn utilization(&self, cell_area_um2: f64) -> f64 {
+        cell_area_um2 / self.core.area()
+    }
+
+    /// Returns a taller floorplan with *empty* rows inserted **below** the
+    /// given (current) row indices; a row index may repeat to insert
+    /// several empty rows at the same place. Returns the new floorplan
+    /// together with the mapping `old row index → new row index`.
+    ///
+    /// This is the geometric half of the paper's empty-row-insertion
+    /// technique: "we can easily move rows of cells upward by an offset of
+    /// a few rows depending on how many empty rows have already been
+    /// inserted." The die outline grows by `positions.len()` row pitches,
+    /// as in Table I (335×389 µm² for 20 rows on a 335×335 µm² base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position exceeds `num_rows()` (inserting at
+    /// `num_rows()` appends above the top row).
+    pub fn with_rows_inserted(&self, positions: &[usize]) -> (Floorplan, Vec<usize>) {
+        let n = self.rows.len();
+        let mut shift = vec![0usize; n];
+        for &p in positions {
+            assert!(p <= n, "insertion position out of range");
+            for (r, s) in shift.iter_mut().enumerate() {
+                if r >= p {
+                    *s += 1;
+                }
+            }
+        }
+        let new_count = n + positions.len();
+        let sites = self.rows[0].num_sites;
+        let origin_x = self.rows[0].origin_x;
+        let rows: Vec<Row> = (0..new_count)
+            .map(|r| Row {
+                y: r as f64 * self.row_height,
+                origin_x,
+                num_sites: sites,
+            })
+            .collect();
+        let mapping: Vec<usize> = (0..n).map(|r| r + shift[r]).collect();
+        let fp = Floorplan {
+            core: Rect::new(
+                self.core.llx,
+                self.core.lly,
+                self.core.urx,
+                self.core.lly + new_count as f64 * self.row_height,
+            ),
+            row_height: self.row_height,
+            site_width: self.site_width,
+            rows,
+        };
+        (fp, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> Library {
+        Library::c65()
+    }
+
+    #[test]
+    fn for_cell_area_hits_target_utilization() {
+        let lib = lib();
+        let fp = Floorplan::for_cell_area(&lib, 100_000.0, 0.8);
+        let u = fp.utilization(100_000.0);
+        assert!((u - 0.8).abs() < 0.02, "got utilization {u}");
+        // Roughly square.
+        let ar = fp.core().height() / fp.core().width();
+        assert!((0.8..1.25).contains(&ar), "aspect {ar}");
+    }
+
+    #[test]
+    fn rows_tile_the_core() {
+        let fp = Floorplan::new(&lib(), 90.0, 12);
+        let mut area = 0.0;
+        for r in 0..fp.num_rows() {
+            area += fp.row_rect(r).area();
+        }
+        assert!((area - fp.core().area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_at_maps_coordinates() {
+        let fp = Floorplan::new(&lib(), 90.0, 12);
+        assert_eq!(fp.row_at(0.0), Some(0));
+        assert_eq!(fp.row_at(2.8), Some(1));
+        assert_eq!(fp.row_at(fp.core().ury), Some(11));
+        assert_eq!(fp.row_at(-1.0), None);
+    }
+
+    #[test]
+    fn row_insertion_shifts_upper_rows() {
+        let fp = Floorplan::new(&lib(), 90.0, 10);
+        let (grown, mapping) = fp.with_rows_inserted(&[4, 4, 8]);
+        assert_eq!(grown.num_rows(), 13);
+        // Rows below the first insertion keep their index.
+        assert_eq!(mapping[0], 0);
+        assert_eq!(mapping[3], 3);
+        // Rows 4..7 shift by 2, rows 8+ by 3.
+        assert_eq!(mapping[4], 6);
+        assert_eq!(mapping[7], 9);
+        assert_eq!(mapping[8], 11);
+        assert_eq!(mapping[9], 12);
+        // Outline grows by exactly 3 pitches (Table I geometry).
+        let dh = grown.core().height() - fp.core().height();
+        assert!((dh - 3.0 * fp.row_height()).abs() < 1e-9);
+        assert!((grown.core().width() - fp.core().width()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_area_overheads_reproduce() {
+        // Base ~335 µm tall: 124 rows × 2.7 µm = 334.8 µm.
+        let fp = Floorplan::new(&lib(), 335.0, 124);
+        let (eri20, _) = fp.with_rows_inserted(&vec![60; 20]);
+        let overhead20 = eri20.core().area() / fp.core().area() - 1.0;
+        assert!((overhead20 - 0.161).abs() < 0.005, "got {overhead20}");
+        let (eri40, _) = fp.with_rows_inserted(&vec![60; 40]);
+        let overhead40 = eri40.core().area() / fp.core().area() - 1.0;
+        assert!((overhead40 - 0.322).abs() < 0.005, "got {overhead40}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Slot search used by post-placement transformations: find legal free
+//! space for a cell near a target point, optionally avoiding regions.
+
+use geom::{Point, Rect};
+use netlist::{CellId, Netlist};
+
+use crate::{Floorplan, Placement};
+
+/// Finds the free slot for `cell` nearest to `origin` (Manhattan distance
+/// between cell center and origin) whose footprint does not intersect any
+/// `forbidden` rectangle. Returns `(row, site)`.
+///
+/// Rows are scanned outward from the origin's row; the search stops as
+/// soon as remaining rows cannot beat the best candidate.
+pub fn nearest_slot_outside(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    placement: &Placement,
+    cell: CellId,
+    origin: Point,
+    forbidden: &[Rect],
+) -> Option<(u32, u32)> {
+    let lib = netlist.library();
+    let width = lib.cell(netlist.cell(cell).master()).width_sites();
+    let width_um = width as f64 * floorplan.site_width();
+    let mut best: Option<(f64, u32, u32)> = None;
+    // Rows ordered by vertical distance from the origin.
+    let origin_row = floorplan
+        .row_at(origin.y.clamp(floorplan.core().lly, floorplan.core().ury))
+        .unwrap_or(0) as i64;
+    let n_rows = floorplan.num_rows() as i64;
+    let row_order = (0..n_rows).map(|k| {
+        // 0, +1, -1, +2, -2, …
+        let step = (k + 1) / 2;
+        if k % 2 == 1 {
+            origin_row + step
+        } else {
+            origin_row - step
+        }
+    });
+    for r in row_order {
+        if r < 0 || r >= n_rows {
+            continue;
+        }
+        let r = r as usize;
+        let row_rect = floorplan.row_rect(r);
+        let y_center = (row_rect.lly + row_rect.ury) / 2.0;
+        let dy = (y_center - origin.y).abs();
+        if let Some((best_d, _, _)) = best {
+            if dy >= best_d {
+                continue; // this row cannot beat the current best
+            }
+        }
+        for (gap_start, gap_width) in placement.row_gaps(floorplan, r as u32) {
+            if gap_width < width {
+                continue;
+            }
+            // Candidate site closest to origin.x within the gap.
+            let sw = floorplan.site_width();
+            let ideal_x = origin.x - width_um / 2.0;
+            let ideal_site = ((ideal_x - floorplan.row(r).origin_x) / sw).round();
+            let lo = gap_start as f64;
+            let hi = (gap_start + gap_width - width) as f64;
+            let site = ideal_site.clamp(lo, hi) as u32;
+            let x = floorplan.site_x(r, site);
+            let rect = Rect::new(x, row_rect.lly, x + width_um, row_rect.ury);
+            if forbidden.iter().any(|f| f.intersects(&rect)) {
+                // Try both gap extremes as fallbacks around a forbidden zone.
+                let mut placed = false;
+                for alt in [lo as u32, hi as u32] {
+                    let ax = floorplan.site_x(r, alt);
+                    let arect = Rect::new(ax, row_rect.lly, ax + width_um, row_rect.ury);
+                    if !forbidden.iter().any(|f| f.intersects(&arect)) {
+                        let d = arect.center().manhattan_to(origin);
+                        if best.map_or(true, |(bd, _, _)| d < bd) {
+                            best = Some((d, r as u32, alt));
+                        }
+                        placed = true;
+                    }
+                }
+                if placed {
+                    continue;
+                }
+                continue;
+            }
+            let d = rect.center().manhattan_to(origin);
+            if best.map_or(true, |(bd, _, _)| d < bd) {
+                best = Some((d, r as u32, site));
+            }
+        }
+    }
+    best.map(|(_, r, s)| (r, s))
+}
+
+/// Inserts `cell` into `row` by re-spreading the whole row uniformly —
+/// the "shove aside" fallback used when no single gap is wide enough for
+/// the cell. Existing row cells keep their left-to-right order; the new
+/// cell is inserted at the position matching `target_x`.
+///
+/// Returns `false` (placement untouched) when the row lacks the total
+/// free width.
+///
+/// # Panics
+///
+/// Panics if `row` is out of range.
+pub fn squeeze_into_row(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    placement: &mut Placement,
+    cell: CellId,
+    row: u32,
+    target_x: f64,
+) -> bool {
+    let lib = netlist.library();
+    let width = lib.cell(netlist.cell(cell).master()).width_sites();
+    let occupants = placement.row_cells(row);
+    let used: u32 = occupants.iter().map(|&(_, _, w)| w).sum();
+    if used + width > floorplan.row(row as usize).num_sites {
+        return false;
+    }
+    // Build the new order: existing cells by site, new cell by target x.
+    let sw = floorplan.site_width();
+    let target_site = ((target_x - floorplan.row(row as usize).origin_x) / sw) as u32;
+    let mut order: Vec<CellId> = Vec::with_capacity(occupants.len() + 1);
+    let mut inserted = false;
+    for &(site, c, _) in &occupants {
+        if !inserted && site >= target_site {
+            order.push(cell);
+            inserted = true;
+        }
+        order.push(c);
+    }
+    if !inserted {
+        order.push(cell);
+    }
+    for &c in &order {
+        placement.remove(c);
+    }
+    let region = floorplan.row_rect(row as usize);
+    crate::spread_into_region(netlist, floorplan, placement, &order, region)
+        .expect("row capacity was checked");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::NetlistBuilder;
+    use stdcell::{CellFunction, Drive, Library};
+
+    fn setup() -> (Netlist, Floorplan, Placement) {
+        let mut b = NetlistBuilder::new("t", Library::c65());
+        let u = b.add_unit("u");
+        let a = b.input_port("a", u);
+        let mut prev = a;
+        for i in 0..3 {
+            let n = b.net(format!("n{i}"));
+            b.cell(u, CellFunction::Inv, Drive::X1, &[prev], &[n])
+                .unwrap();
+            prev = n;
+        }
+        let nl = b.finish().unwrap();
+        let fp = Floorplan::new(nl.library(), 30.0, 4);
+        let p = Placement::new(&nl, &fp);
+        (nl, fp, p)
+    }
+
+    #[test]
+    fn finds_slot_at_origin_when_empty() {
+        let (nl, fp, p) = setup();
+        // y = 5.4 sits exactly on the row-1/row-2 boundary: both rows'
+        // centers are equidistant, either is a correct nearest slot.
+        let origin = Point::new(15.0, 5.4);
+        let (row, site) = nearest_slot_outside(&nl, &fp, &p, CellId::new(0), origin, &[]).unwrap();
+        assert!(row == 1 || row == 2, "row {row}");
+        // 15 µm = site 50; cell is 2 sites wide → starts at ~49.
+        assert!((48..=50).contains(&site));
+    }
+
+    #[test]
+    fn avoids_forbidden_regions() {
+        let (nl, fp, p) = setup();
+        let origin = Point::new(15.0, 5.4);
+        // Forbid the two middle rows entirely.
+        let forbidden = [Rect::new(0.0, 2.7, 30.0, 8.1)];
+        let (row, _) =
+            nearest_slot_outside(&nl, &fp, &p, CellId::new(0), origin, &forbidden).unwrap();
+        assert!(
+            row == 0 || row == 3,
+            "row {row} is inside the forbidden band"
+        );
+    }
+
+    #[test]
+    fn skips_occupied_space() {
+        let (nl, fp, mut p) = setup();
+        // Fill row 1 completely with cell 1 … can't (2 sites); instead
+        // occupy the target area.
+        p.place(&nl, &fp, CellId::new(1), 1, 48);
+        let origin = Point::new(14.7, 2.8); // row 1, site ~48
+        let (row, site) = nearest_slot_outside(&nl, &fp, &p, CellId::new(0), origin, &[]).unwrap();
+        let rect = {
+            let x = fp.site_x(row as usize, site);
+            Rect::new(
+                x,
+                fp.row(row as usize).y,
+                x + 0.6,
+                fp.row(row as usize).y + 2.7,
+            )
+        };
+        let occupied = p.cell_rect(&nl, &fp, CellId::new(1)).unwrap();
+        assert!(!rect.intersects(&occupied));
+    }
+
+    #[test]
+    fn returns_none_when_everything_is_forbidden() {
+        let (nl, fp, p) = setup();
+        let forbidden = [fp.core()];
+        assert!(nearest_slot_outside(
+            &nl,
+            &fp,
+            &p,
+            CellId::new(0),
+            Point::new(1.0, 1.0),
+            &forbidden
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,63 @@
+use serde::{Deserialize, Serialize};
+
+/// Power-model parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Clock frequency in Hz (the paper runs the benchmark at 1 GHz).
+    pub clock_hz: f64,
+    /// Wire capacitance per micron of HPWL, in fF/µm.
+    pub wire_cap_ff_per_um: f64,
+    /// Temperature increase that doubles leakage, in K.
+    pub leakage_doubling_c: f64,
+    /// Reference temperature for library leakage numbers, in °C.
+    pub reference_temp_c: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            clock_hz: 1e9,
+            wire_cap_ff_per_um: 0.2,
+            leakage_doubling_c: 25.0,
+            reference_temp_c: 25.0,
+        }
+    }
+}
+
+impl PowerConfig {
+    /// Leakage multiplier at temperature `t_c` relative to the reference.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let cfg = powerest::PowerConfig::default();
+    /// let x = cfg.leakage_factor(50.0); // 25 K above reference
+    /// assert!((x - 2.0).abs() < 1e-12);
+    /// ```
+    pub fn leakage_factor(&self, t_c: f64) -> f64 {
+        2f64.powf((t_c - self.reference_temp_c) / self.leakage_doubling_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_factor_is_one_at_reference() {
+        let cfg = PowerConfig::default();
+        assert!((cfg.leakage_factor(25.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_factor_quadruples_after_two_doublings() {
+        let cfg = PowerConfig::default();
+        assert!((cfg.leakage_factor(75.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_factor_shrinks_below_reference() {
+        let cfg = PowerConfig::default();
+        assert!(cfg.leakage_factor(0.0) < 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+use netlist::{CellId, Netlist, UnitId};
+
+use crate::PowerConfig;
+
+/// Per-cell and aggregate power numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    per_cell_dynamic_w: Vec<f64>,
+    per_cell_leakage_w: Vec<f64>,
+}
+
+impl PowerReport {
+    pub(crate) fn new(per_cell_dynamic_w: Vec<f64>, per_cell_leakage_w: Vec<f64>) -> Self {
+        debug_assert_eq!(per_cell_dynamic_w.len(), per_cell_leakage_w.len());
+        PowerReport {
+            per_cell_dynamic_w,
+            per_cell_leakage_w,
+        }
+    }
+
+    /// Total power of one cell in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell_w(&self, cell: CellId) -> f64 {
+        self.per_cell_dynamic_w[cell.index()] + self.per_cell_leakage_w[cell.index()]
+    }
+
+    /// Dynamic (switching + clock) power of one cell in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell_dynamic_w(&self, cell: CellId) -> f64 {
+        self.per_cell_dynamic_w[cell.index()]
+    }
+
+    /// Leakage power of one cell in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell_leakage_w(&self, cell: CellId) -> f64 {
+        self.per_cell_leakage_w[cell.index()]
+    }
+
+    /// Total dynamic power in watts.
+    pub fn total_dynamic_w(&self) -> f64 {
+        self.per_cell_dynamic_w.iter().sum()
+    }
+
+    /// Total leakage power in watts.
+    pub fn total_leakage_w(&self) -> f64 {
+        self.per_cell_leakage_w.iter().sum()
+    }
+
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.total_dynamic_w() + self.total_leakage_w()
+    }
+
+    /// Total power of one unit in watts.
+    pub fn unit_w(&self, netlist: &Netlist, unit: UnitId) -> f64 {
+        netlist
+            .cells()
+            .filter(|(_, c)| c.unit() == unit)
+            .map(|(id, _)| self.cell_w(id))
+            .sum()
+    }
+
+    /// Number of cells covered.
+    pub fn cell_count(&self) -> usize {
+        self.per_cell_dynamic_w.len()
+    }
+
+    /// Returns a report with identical dynamic power but leakage re-derated
+    /// at the given per-cell temperatures — the leakage–temperature
+    /// feedback step, which must not touch the (activity-driven) dynamic
+    /// component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths do not match the netlist.
+    pub fn with_leakage_at(
+        &self,
+        netlist: &Netlist,
+        config: &PowerConfig,
+        cell_temps_c: &[f64],
+    ) -> PowerReport {
+        assert_eq!(self.cell_count(), netlist.cell_count());
+        assert_eq!(cell_temps_c.len(), netlist.cell_count());
+        let lib = netlist.library();
+        let leakage = netlist
+            .cells()
+            .map(|(id, c)| {
+                lib.cell(c.master()).leakage_nw()
+                    * 1e-9
+                    * config.leakage_factor(cell_temps_c[id.index()])
+            })
+            .collect();
+        PowerReport::new(self.per_cell_dynamic_w.clone(), leakage)
+    }
+}

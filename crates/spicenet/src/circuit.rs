@@ -1,0 +1,245 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CircuitError;
+use crate::mna::SolveOptions;
+use crate::{DcSolution, SolveError};
+
+geom::define_id!(
+    /// A named circuit node (ground is represented separately by
+    /// [`NodeRef::Ground`]).
+    pub struct NodeId
+);
+
+/// Reference to a circuit node or the implicit ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// The global reference node (0 V).
+    Ground,
+    /// A named node created with [`Circuit::node`].
+    Node(NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Resistor {
+    pub a: NodeRef,
+    pub b: NodeRef,
+    pub ohms: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct CurrentSource {
+    /// Current is pulled out of `from`…
+    pub from: NodeRef,
+    /// …and injected into `to`.
+    pub to: NodeRef,
+    pub amps: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct VoltageSource {
+    pub pos: NodeRef,
+    pub neg: NodeRef,
+    pub volts: f64,
+}
+
+/// A linear DC circuit: resistors, independent current sources and
+/// independent voltage sources over named nodes.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    #[serde(skip)]
+    by_name: HashMap<String, NodeId>,
+    pub(crate) resistors: Vec<Resistor>,
+    pub(crate) isources: Vec<CurrentSource>,
+    pub(crate) vsources: Vec<VoltageSource>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Interns a node by name, creating it on first use.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = NodeId::new(self.node_names.len());
+        self.by_name.insert(name.clone(), id);
+        self.node_names.push(name);
+        id
+    }
+
+    /// Looks up a node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.index()]
+    }
+
+    /// Number of non-ground nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of elements (R + I + V).
+    pub fn element_count(&self) -> usize {
+        self.resistors.len() + self.isources.len() + self.vsources.len()
+    }
+
+    fn check_ref(&self, r: NodeRef) -> Result<(), CircuitError> {
+        match r {
+            NodeRef::Ground => Ok(()),
+            NodeRef::Node(id) if id.index() < self.node_names.len() => Ok(()),
+            NodeRef::Node(id) => Err(CircuitError::UnknownNode { node: id }),
+        }
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite resistance, self-loops, and
+    /// references to nodes not created by this circuit.
+    pub fn resistor(&mut self, a: NodeRef, b: NodeRef, ohms: f64) -> Result<(), CircuitError> {
+        self.check_ref(a)?;
+        self.check_ref(b)?;
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(CircuitError::InvalidValue {
+                what: "resistance",
+                value: ohms,
+            });
+        }
+        if a == b {
+            return Err(CircuitError::SelfLoop);
+        }
+        self.resistors.push(Resistor { a, b, ohms });
+        Ok(())
+    }
+
+    /// Adds an independent current source pulling `amps` out of `from` and
+    /// injecting it into `to`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite current, self-loops and unknown nodes.
+    pub fn current_source(
+        &mut self,
+        from: NodeRef,
+        to: NodeRef,
+        amps: f64,
+    ) -> Result<(), CircuitError> {
+        self.check_ref(from)?;
+        self.check_ref(to)?;
+        if !amps.is_finite() {
+            return Err(CircuitError::InvalidValue {
+                what: "current",
+                value: amps,
+            });
+        }
+        if from == to {
+            return Err(CircuitError::SelfLoop);
+        }
+        self.isources.push(CurrentSource { from, to, amps });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source holding `pos - neg = volts`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite voltage, self-loops and unknown nodes.
+    pub fn voltage_source(
+        &mut self,
+        pos: NodeRef,
+        neg: NodeRef,
+        volts: f64,
+    ) -> Result<(), CircuitError> {
+        self.check_ref(pos)?;
+        self.check_ref(neg)?;
+        if !volts.is_finite() {
+            return Err(CircuitError::InvalidValue {
+                what: "voltage",
+                value: volts,
+            });
+        }
+        if pos == neg {
+            return Err(CircuitError::SelfLoop);
+        }
+        self.vsources.push(VoltageSource { pos, neg, volts });
+        Ok(())
+    }
+
+    /// Computes the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] when the system is singular (floating
+    /// subcircuits, no path to a reference), the iterative solver fails to
+    /// converge, or the circuit is empty.
+    pub fn solve(&self, options: SolveOptions) -> Result<DcSolution, SolveError> {
+        crate::mna::solve(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_interning_is_idempotent() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.find_node("a"), Some(a));
+        assert_eq!(c.node_name(a), "a");
+    }
+
+    #[test]
+    fn invalid_resistance_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(c.resistor(NodeRef::Node(a), NodeRef::Ground, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        assert_eq!(
+            c.resistor(NodeRef::Node(a), NodeRef::Node(a), 1.0),
+            Err(CircuitError::SelfLoop)
+        );
+        assert_eq!(
+            c.current_source(NodeRef::Ground, NodeRef::Ground, 1.0),
+            Err(CircuitError::SelfLoop)
+        );
+    }
+
+    #[test]
+    fn foreign_node_rejected() {
+        let mut c = Circuit::new();
+        let bogus = NodeId::new(5);
+        assert!(matches!(
+            c.resistor(NodeRef::Node(bogus), NodeRef::Ground, 1.0),
+            Err(CircuitError::UnknownNode { .. })
+        ));
+    }
+}

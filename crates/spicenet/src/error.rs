@@ -1,0 +1,72 @@
+use crate::NodeId;
+
+/// Errors raised while constructing a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CircuitError {
+    /// A node id from a different circuit (or out of range) was used.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// An element value was non-finite or out of its legal range.
+    InvalidValue {
+        /// Which quantity was invalid.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An element connected a node to itself.
+    SelfLoop,
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            CircuitError::InvalidValue { what, value } => {
+                write!(f, "invalid {what} value {value}")
+            }
+            CircuitError::SelfLoop => write!(f, "element connects a node to itself"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Errors raised by the DC solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The circuit has no nodes or no elements.
+    EmptyCircuit,
+    /// The system matrix is singular — typically a node or subcircuit with
+    /// no DC path to ground or a voltage source.
+    Singular {
+        /// Human-readable description of the offending structure.
+        detail: String,
+    },
+    /// The iterative solver did not reach the requested tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::EmptyCircuit => write!(f, "circuit has no solvable content"),
+            SolveError::Singular { detail } => write!(f, "singular system: {detail}"),
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solve stopped after {iterations} iterations at residual {residual:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

@@ -1,0 +1,48 @@
+//! A linear DC circuit solver — the workspace's stand-in for SPICE.
+//!
+//! The thermal model of the paper (from Liu et al., PATMOS'09) converts the
+//! steady-state heat equation into "a netlist of resistors, current sources
+//! and voltage sources" and hands it to SPICE. This crate implements
+//! exactly that feature set:
+//!
+//! * [`Circuit`] — build a netlist of **R** / **I** / **V** elements over
+//!   named nodes plus an implicit ground;
+//! * [`Circuit::solve`] — a DC operating-point analysis via modified nodal
+//!   analysis (MNA). Circuits whose voltage sources are all ideal-to-ground
+//!   (the thermal case: ambient-temperature boundaries) are reduced by
+//!   Dirichlet elimination to a symmetric positive-definite system and
+//!   solved with Jacobi-preconditioned conjugate gradients; everything
+//!   else falls back to a dense LU factorization of the full MNA system.
+//!
+//! # Examples
+//!
+//! A 10 V source across two 1 kΩ resistors in series (voltage divider):
+//!
+//! ```
+//! use spicenet::{Circuit, NodeRef, SolveOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut c = Circuit::new();
+//! let top = c.node("top");
+//! let mid = c.node("mid");
+//! c.voltage_source(NodeRef::Node(top), NodeRef::Ground, 10.0)?;
+//! c.resistor(NodeRef::Node(top), NodeRef::Node(mid), 1000.0)?;
+//! c.resistor(NodeRef::Node(mid), NodeRef::Ground, 1000.0)?;
+//! let sol = c.solve(SolveOptions::default())?;
+//! assert!((sol.voltage(NodeRef::Node(mid)) - 5.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod dense;
+mod error;
+mod mna;
+mod solution;
+mod sparse;
+
+pub use circuit::{Circuit, NodeId, NodeRef};
+pub use error::{CircuitError, SolveError};
+pub use mna::{Method, SolveOptions};
+pub use solution::DcSolution;
+pub use sparse::CsrMatrix;

@@ -1,0 +1,79 @@
+use crate::NodeRef;
+
+/// The result of a DC operating-point analysis.
+///
+/// # Examples
+///
+/// ```
+/// use spicenet::{Circuit, NodeRef, SolveOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new();
+/// let n = c.node("n");
+/// c.current_source(NodeRef::Ground, NodeRef::Node(n), 2.0)?;
+/// c.resistor(NodeRef::Node(n), NodeRef::Ground, 5.0)?;
+/// let sol = c.solve(SolveOptions::default())?;
+/// assert!((sol.voltage(NodeRef::Node(n)) - 10.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    voltages: Vec<f64>,
+    vsource_currents: Vec<f64>,
+    iterations: usize,
+    residual: f64,
+}
+
+impl DcSolution {
+    pub(crate) fn new(
+        voltages: Vec<f64>,
+        vsource_currents: Vec<f64>,
+        iterations: usize,
+        residual: f64,
+    ) -> Self {
+        DcSolution {
+            voltages,
+            vsource_currents,
+            iterations,
+            residual,
+        }
+    }
+
+    /// The voltage at a node (0 for ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn voltage(&self, node: NodeRef) -> f64 {
+        match node {
+            NodeRef::Ground => 0.0,
+            NodeRef::Node(id) => self.voltages[id.index()],
+        }
+    }
+
+    /// All node voltages, indexed by [`crate::NodeId`].
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// The current delivered by the `k`-th voltage source (in insertion
+    /// order), flowing out of its positive terminal into the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn vsource_current(&self, k: usize) -> f64 {
+        self.vsource_currents[k]
+    }
+
+    /// Iterations used by the iterative path (0 for dense solves).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Final relative residual of the iterative path (0 for dense solves).
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+}

@@ -1,0 +1,232 @@
+/// A compressed-sparse-row matrix, built from coordinate triplets.
+///
+/// Only what the conjugate-gradient solver needs: assembly with duplicate
+/// summing, matrix-vector products, and diagonal extraction.
+///
+/// # Examples
+///
+/// ```
+/// use spicenet::CsrMatrix;
+///
+/// // [2 -1; -1 2]
+/// let m = CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)]);
+/// let y = m.mul_vec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles an `n`×`n` matrix from `(row, col, value)` triplets,
+    /// summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut counts = vec![0usize; n + 1];
+        for &(r, c, _) in triplets {
+            assert!(r < n && c < n, "triplet index out of range");
+            counts[r + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0usize; triplets.len()];
+        let mut values = vec![0.0f64; triplets.len()];
+        let mut cursor = counts.clone();
+        for &(r, c, v) in triplets {
+            let k = cursor[r];
+            col_idx[k] = c;
+            values[k] = v;
+            cursor[r] += 1;
+        }
+        // Sort each row by column and merge duplicates.
+        let mut out_row_ptr = vec![0usize; n + 1];
+        let mut out_cols = Vec::with_capacity(triplets.len());
+        let mut out_vals = Vec::with_capacity(triplets.len());
+        for r in 0..n {
+            let lo = counts[r];
+            let hi = counts[r + 1];
+            let mut row: Vec<(usize, f64)> = col_idx[lo..hi]
+                .iter()
+                .copied()
+                .zip(values[lo..hi].iter().copied())
+                .collect();
+            row.sort_by_key(|&(c, _)| c);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+            for (c, v) in row {
+                match merged.last_mut() {
+                    Some((lc, lv)) if *lc == c => *lv += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                out_cols.push(c);
+                out_vals.push(v);
+            }
+            out_row_ptr[r + 1] = out_cols.len();
+        }
+        CsrMatrix {
+            n,
+            row_ptr: out_row_ptr,
+            col_idx: out_cols,
+            values: out_vals,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// The main diagonal (zeros where unstored).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n];
+        for r in 0..self.n {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.col_idx[k] == r {
+                    d[r] = self.values[k];
+                }
+            }
+        }
+        d
+    }
+}
+
+/// Jacobi-preconditioned conjugate gradients for SPD systems.
+///
+/// Returns `(x, iterations, relative_residual)`.
+///
+/// # Errors
+///
+/// Returns the iteration count and final residual if the tolerance is not
+/// reached within `max_iter`.
+pub(crate) fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Result<(Vec<f64>, usize, f64), (usize, f64)> {
+    let n = a.n();
+    let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm_b == 0.0 {
+        return Ok((vec![0.0; n], 0, 0.0));
+    }
+    let diag = a.diagonal();
+    let minv: Vec<f64> = diag
+        .iter()
+        .map(|&d| if d.abs() > 0.0 { 1.0 / d } else { 1.0 })
+        .collect();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z: Vec<f64> = r.iter().zip(&minv).map(|(ri, mi)| ri * mi).collect();
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    for it in 0..max_iter {
+        let ap = a.mul_vec(&p);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap <= 0.0 {
+            // Not SPD (or numerically singular).
+            return Err((it, f64::INFINITY));
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let norm_r = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm_r / norm_b < tol {
+            return Ok((x, it + 1, norm_r / norm_b));
+        }
+        for i in 0..n {
+            z[i] = r[i] * minv[i];
+        }
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    let norm_r = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    Err((max_iter, norm_r / norm_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.diagonal(), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn cg_solves_laplacian_chain() {
+        // Tridiagonal [2,-1] chain, b = e_0: classic SPD test.
+        let n = 50;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, &t);
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        let (x, _, res) = conjugate_gradient(&a, &b, 1e-12, 10 * n).unwrap();
+        assert!(res < 1e-10);
+        // Check A x = b.
+        let ax = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-8, "row {i}");
+        }
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let (x, it, _) = conjugate_gradient(&a, &[0.0, 0.0], 1e-12, 10).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(it, 0);
+    }
+
+    #[test]
+    fn cg_detects_indefinite_matrix() {
+        let a = CsrMatrix::from_triplets(1, &[(0, 0, -1.0)]);
+        assert!(conjugate_gradient(&a, &[1.0], 1e-12, 10).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Circuit-level validation of the DC solver: textbook circuits, method
+//! cross-checks and conservation laws.
+
+use spicenet::{Circuit, Method, NodeRef, SolveError, SolveOptions};
+
+fn n(c: &mut Circuit, name: &str) -> NodeRef {
+    NodeRef::Node(c.node(name))
+}
+
+#[test]
+fn wheatstone_bridge_balances() {
+    // Balanced bridge: equal ratio arms → zero volts across the bridge.
+    let mut c = Circuit::new();
+    let top = n(&mut c, "top");
+    let left = n(&mut c, "left");
+    let right = n(&mut c, "right");
+    c.voltage_source(top, NodeRef::Ground, 12.0).unwrap();
+    c.resistor(top, left, 100.0).unwrap();
+    c.resistor(top, right, 200.0).unwrap();
+    c.resistor(left, NodeRef::Ground, 300.0).unwrap();
+    c.resistor(right, NodeRef::Ground, 600.0).unwrap();
+    c.resistor(left, right, 55.5).unwrap(); // galvanometer arm
+    let sol = c.solve(SolveOptions::default()).unwrap();
+    assert!((sol.voltage(left) - sol.voltage(right)).abs() < 1e-9);
+    assert!((sol.voltage(left) - 9.0).abs() < 1e-9);
+}
+
+#[test]
+fn superposition_holds() {
+    // Solve with both sources, then each alone; voltages must add.
+    let build = |i1: f64, i2: f64| {
+        let mut c = Circuit::new();
+        let a = n(&mut c, "a");
+        let b = n(&mut c, "b");
+        c.resistor(a, NodeRef::Ground, 10.0).unwrap();
+        c.resistor(a, b, 20.0).unwrap();
+        c.resistor(b, NodeRef::Ground, 30.0).unwrap();
+        if i1 != 0.0 {
+            c.current_source(NodeRef::Ground, a, i1).unwrap();
+        }
+        if i2 != 0.0 {
+            c.current_source(NodeRef::Ground, b, i2).unwrap();
+        }
+        let sol = c.solve(SolveOptions::default()).unwrap();
+        (sol.voltage(a), sol.voltage(b))
+    };
+    let (va_both, vb_both) = build(1.5, -0.7);
+    let (va_1, vb_1) = build(1.5, 0.0);
+    let (va_2, vb_2) = build(0.0, -0.7);
+    assert!((va_both - (va_1 + va_2)).abs() < 1e-9);
+    assert!((vb_both - (vb_1 + vb_2)).abs() < 1e-9);
+}
+
+#[test]
+fn cg_and_dense_agree_on_a_resistor_grid() {
+    // 8×8 grid of 1 kΩ resistors, corners pinned, current injected mid-grid.
+    let mut c = Circuit::new();
+    let mut ids = vec![vec![NodeRef::Ground; 8]; 8];
+    for (y, row) in ids.iter_mut().enumerate() {
+        for (x, slot) in row.iter_mut().enumerate() {
+            *slot = n(&mut c, &format!("n{x}_{y}"));
+        }
+    }
+    for y in 0..8 {
+        for x in 0..8 {
+            if x + 1 < 8 {
+                c.resistor(ids[y][x], ids[y][x + 1], 1000.0).unwrap();
+            }
+            if y + 1 < 8 {
+                c.resistor(ids[y][x], ids[y + 1][x], 1000.0).unwrap();
+            }
+        }
+    }
+    c.voltage_source(ids[0][0], NodeRef::Ground, 1.0).unwrap();
+    c.voltage_source(ids[7][7], NodeRef::Ground, 2.0).unwrap();
+    c.current_source(NodeRef::Ground, ids[3][4], 0.01).unwrap();
+
+    let cg = c
+        .solve(SolveOptions {
+            method: Method::ConjugateGradient,
+            tolerance: 1e-12,
+            max_iterations: None,
+        })
+        .unwrap();
+    let lu = c
+        .solve(SolveOptions {
+            method: Method::DenseLu,
+            ..Default::default()
+        })
+        .unwrap();
+    for (a, b) in cg.voltages().iter().zip(lu.voltages()) {
+        assert!((a - b).abs() < 1e-6, "CG {a} vs LU {b}");
+    }
+}
+
+#[test]
+fn energy_is_conserved() {
+    // Power delivered by sources equals power dissipated in resistors.
+    let mut c = Circuit::new();
+    let a = n(&mut c, "a");
+    let b = n(&mut c, "b");
+    let d = n(&mut c, "d");
+    c.voltage_source(a, NodeRef::Ground, 5.0).unwrap();
+    c.resistor(a, b, 50.0).unwrap();
+    c.resistor(b, d, 75.0).unwrap();
+    c.resistor(d, NodeRef::Ground, 25.0).unwrap();
+    c.resistor(b, NodeRef::Ground, 120.0).unwrap();
+    c.current_source(NodeRef::Ground, d, 0.02).unwrap();
+    let sol = c.solve(SolveOptions::default()).unwrap();
+
+    let v = |r: NodeRef| sol.voltage(r);
+    let p_resistors: f64 = [
+        (a, b, 50.0),
+        (b, d, 75.0),
+        (d, NodeRef::Ground, 25.0),
+        (b, NodeRef::Ground, 120.0),
+    ]
+    .iter()
+    .map(|&(x, y, r)| (v(x) - v(y)).powi(2) / r)
+    .sum();
+    let p_vsource = 5.0 * sol.vsource_current(0);
+    let p_isource = 0.02 * v(d);
+    assert!(
+        (p_resistors - (p_vsource + p_isource)).abs() < 1e-9,
+        "dissipated {p_resistors} vs delivered {}",
+        p_vsource + p_isource
+    );
+}
+
+#[test]
+fn vsource_between_nodes_uses_dense_path() {
+    // Floating 2 V source between two resistor-divided nodes.
+    let mut c = Circuit::new();
+    let a = n(&mut c, "a");
+    let b = n(&mut c, "b");
+    c.resistor(a, NodeRef::Ground, 100.0).unwrap();
+    c.resistor(b, NodeRef::Ground, 100.0).unwrap();
+    c.current_source(NodeRef::Ground, a, 0.05).unwrap();
+    c.voltage_source(b, a, 2.0).unwrap();
+    let sol = c.solve(SolveOptions::default()).unwrap();
+    assert!((sol.voltage(b) - sol.voltage(a) - 2.0).abs() < 1e-9);
+    // KCL at the pair: 0.05 A in, (va + vb)/100 out.
+    let total = (sol.voltage(a) + sol.voltage(b)) / 100.0;
+    assert!((total - 0.05).abs() < 1e-9);
+}
+
+#[test]
+fn floating_node_is_singular() {
+    let mut c = Circuit::new();
+    let a = n(&mut c, "a");
+    let orphan = n(&mut c, "orphan");
+    c.resistor(a, NodeRef::Ground, 10.0).unwrap();
+    c.current_source(NodeRef::Ground, a, 1.0).unwrap();
+    // `orphan` has a current source but no resistive path at all.
+    c.current_source(NodeRef::Ground, orphan, 1e-3).unwrap();
+    let err = c.solve(SolveOptions::default()).unwrap_err();
+    assert!(matches!(err, SolveError::Singular { .. }), "{err}");
+}
+
+#[test]
+fn conflicting_pins_are_rejected() {
+    let mut c = Circuit::new();
+    let a = n(&mut c, "a");
+    c.voltage_source(a, NodeRef::Ground, 1.0).unwrap();
+    c.voltage_source(a, NodeRef::Ground, 2.0).unwrap();
+    c.resistor(a, NodeRef::Ground, 1.0).unwrap();
+    let err = c.solve(SolveOptions::default()).unwrap_err();
+    assert!(matches!(err, SolveError::Singular { .. }));
+}
+
+#[test]
+fn empty_circuit_is_an_error() {
+    let c = Circuit::new();
+    assert_eq!(
+        c.solve(SolveOptions::default()).unwrap_err(),
+        SolveError::EmptyCircuit
+    );
+}
+
+#[test]
+fn scaling_current_scales_voltage_linearly() {
+    let run = |amps: f64| {
+        let mut c = Circuit::new();
+        let a = n(&mut c, "a");
+        let b = n(&mut c, "b");
+        c.resistor(a, b, 40.0).unwrap();
+        c.resistor(b, NodeRef::Ground, 60.0).unwrap();
+        c.current_source(NodeRef::Ground, a, amps).unwrap();
+        c.solve(SolveOptions::default()).unwrap().voltage(a)
+    };
+    let v1 = run(0.1);
+    let v3 = run(0.3);
+    assert!((v3 - 3.0 * v1).abs() < 1e-9);
+    assert!((v1 - 10.0).abs() < 1e-9); // 0.1 A × 100 Ω
+}

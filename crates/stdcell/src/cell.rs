@@ -1,0 +1,203 @@
+use serde::{Deserialize, Serialize};
+
+use crate::CellFunction;
+
+geom::define_id!(
+    /// Index of a [`CellDef`](crate::CellDef) inside a [`Library`](crate::Library).
+    pub struct LibCellId
+);
+
+/// Drive strength variants offered for each logic function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Drive {
+    /// Unit drive.
+    X1,
+    /// Double drive.
+    X2,
+    /// Quadruple drive.
+    X4,
+}
+
+impl std::fmt::Display for Drive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drive::X1 => write!(f, "X1"),
+            Drive::X2 => write!(f, "X2"),
+            Drive::X4 => write!(f, "X4"),
+        }
+    }
+}
+
+/// A standard-cell master: geometry, logic function, timing and power data.
+///
+/// Widths are expressed in **placement sites**; the owning
+/// [`Library`](crate::Library) defines the site width and row height, so a
+/// cell's physical footprint is `width_sites × site_width × row_height`.
+///
+/// # Examples
+///
+/// ```
+/// use stdcell::{CellDef, CellFunction, Drive};
+///
+/// let inv = CellDef::new("IVLL_X1", CellFunction::Inv, Drive::X1, 2)
+///     .with_electrical(1.2, 0.6, 2.0)
+///     .with_timing(12.0, 6.0);
+/// assert_eq!(inv.width_sites(), 2);
+/// assert_eq!(inv.leakage_nw(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellDef {
+    name: String,
+    function: CellFunction,
+    drive: Drive,
+    width_sites: u32,
+    input_cap_ff: f64,
+    switching_energy_fj: f64,
+    leakage_nw: f64,
+    clock_energy_fj: f64,
+    intrinsic_delay_ps: f64,
+    drive_res_kohm: f64,
+}
+
+impl CellDef {
+    /// Creates a cell master with zeroed electrical/timing data; chain the
+    /// `with_*` builders to fill them in.
+    pub fn new(
+        name: impl Into<String>,
+        function: CellFunction,
+        drive: Drive,
+        width_sites: u32,
+    ) -> Self {
+        CellDef {
+            name: name.into(),
+            function,
+            drive,
+            width_sites,
+            input_cap_ff: 0.0,
+            switching_energy_fj: 0.0,
+            leakage_nw: 0.0,
+            clock_energy_fj: 0.0,
+            intrinsic_delay_ps: 0.0,
+            drive_res_kohm: 0.0,
+        }
+    }
+
+    /// Sets the per-input-pin capacitance (fF), internal switching energy
+    /// per output toggle (fJ) and leakage power at 25 °C (nW).
+    pub fn with_electrical(
+        mut self,
+        input_cap_ff: f64,
+        switching_energy_fj: f64,
+        leakage_nw: f64,
+    ) -> Self {
+        self.input_cap_ff = input_cap_ff;
+        self.switching_energy_fj = switching_energy_fj;
+        self.leakage_nw = leakage_nw;
+        self
+    }
+
+    /// Sets the intrinsic delay (ps) and equivalent drive resistance (kΩ);
+    /// gate delay is modelled as `intrinsic + R · C_load` (kΩ·fF = ps).
+    pub fn with_timing(mut self, intrinsic_delay_ps: f64, drive_res_kohm: f64) -> Self {
+        self.intrinsic_delay_ps = intrinsic_delay_ps;
+        self.drive_res_kohm = drive_res_kohm;
+        self
+    }
+
+    /// Sets the per-clock-cycle internal energy (fJ) burnt regardless of
+    /// data activity. Non-zero only for sequential cells.
+    pub fn with_clock_energy(mut self, clock_energy_fj: f64) -> Self {
+        self.clock_energy_fj = clock_energy_fj;
+        self
+    }
+
+    /// Library name of the master (e.g. `ND2LL_X1`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logic function implemented by the master.
+    pub fn function(&self) -> CellFunction {
+        self.function
+    }
+
+    /// Drive strength variant.
+    pub fn drive(&self) -> Drive {
+        self.drive
+    }
+
+    /// Width in placement sites.
+    pub fn width_sites(&self) -> u32 {
+        self.width_sites
+    }
+
+    /// Capacitance presented by each input pin, in fF.
+    pub fn input_cap_ff(&self) -> f64 {
+        self.input_cap_ff
+    }
+
+    /// Internal energy dissipated per output toggle, in fJ.
+    pub fn switching_energy_fj(&self) -> f64 {
+        self.switching_energy_fj
+    }
+
+    /// Leakage power at the reference temperature (25 °C), in nW.
+    pub fn leakage_nw(&self) -> f64 {
+        self.leakage_nw
+    }
+
+    /// Internal energy per clock cycle independent of data activity, in fJ.
+    pub fn clock_energy_fj(&self) -> f64 {
+        self.clock_energy_fj
+    }
+
+    /// Intrinsic (no-load) delay in ps.
+    pub fn intrinsic_delay_ps(&self) -> f64 {
+        self.intrinsic_delay_ps
+    }
+
+    /// Equivalent output drive resistance in kΩ.
+    pub fn drive_res_kohm(&self) -> f64 {
+        self.drive_res_kohm
+    }
+}
+
+impl std::fmt::Display for CellDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} {})", self.name, self.function, self.drive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_all_fields() {
+        let fa = CellDef::new("FALL_X2", CellFunction::FullAdder, Drive::X2, 30)
+            .with_electrical(3.0, 5.0, 15.0)
+            .with_timing(50.0, 5.0)
+            .with_clock_energy(0.0);
+        assert_eq!(fa.name(), "FALL_X2");
+        assert_eq!(fa.function(), CellFunction::FullAdder);
+        assert_eq!(fa.drive(), Drive::X2);
+        assert_eq!(fa.width_sites(), 30);
+        assert_eq!(fa.input_cap_ff(), 3.0);
+        assert_eq!(fa.switching_energy_fj(), 5.0);
+        assert_eq!(fa.leakage_nw(), 15.0);
+        assert_eq!(fa.intrinsic_delay_ps(), 50.0);
+        assert_eq!(fa.drive_res_kohm(), 5.0);
+    }
+
+    #[test]
+    fn display_mentions_function_and_drive() {
+        let c = CellDef::new("IV_X4", CellFunction::Inv, Drive::X4, 5);
+        let s = c.to_string();
+        assert!(s.contains("Inv") && s.contains("X4"));
+    }
+
+    #[test]
+    fn drive_ordering() {
+        assert!(Drive::X1 < Drive::X2 && Drive::X2 < Drive::X4);
+    }
+}

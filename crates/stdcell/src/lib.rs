@@ -1,0 +1,35 @@
+//! A synthetic 65 nm-class standard-cell library.
+//!
+//! The DATE 2010 flow this workspace reproduces was built on an STM 65 nm
+//! library, which is proprietary. This crate provides a self-consistent
+//! substitute: a catalogue of [`CellDef`]s covering the combinational and
+//! sequential functions needed by the arithmetic-unit generators, plus the
+//! **filler (dummy) cells** that the paper's two techniques pour into
+//! whitespace — zero-power cells that keep the power/ground rails of each
+//! layout row electrically continuous.
+//!
+//! Absolute numbers (capacitances, energies, delays) are representative of a
+//! low-power 65 nm process; the paper only evaluates *relative* temperature
+//! reductions, so self-consistency is what matters.
+//!
+//! # Examples
+//!
+//! ```
+//! use stdcell::{CellFunction, Drive, Library};
+//!
+//! let lib = Library::c65();
+//! let nand = lib.cell_for(CellFunction::Nand2, Drive::X1).expect("in library");
+//! let def = lib.cell(nand);
+//! assert_eq!(def.function().input_count(), 2);
+//! assert!(lib.cell_area_um2(nand) > 0.0);
+//! ```
+
+mod c65;
+mod cell;
+mod function;
+mod library;
+
+pub use c65::c65_cells;
+pub use cell::{CellDef, Drive, LibCellId};
+pub use function::CellFunction;
+pub use library::Library;

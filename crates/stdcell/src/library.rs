@@ -1,0 +1,251 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{c65_cells, CellDef, CellFunction, Drive, LibCellId};
+
+/// A standard-cell library: the cell catalogue plus the row/site geometry
+/// that every placement in this workspace is built on.
+///
+/// # Examples
+///
+/// ```
+/// use stdcell::{CellFunction, Drive, Library};
+///
+/// let lib = Library::c65();
+/// assert!(lib.len() > 20);
+/// let dff = lib.cell_for(CellFunction::Dff, Drive::X1).expect("DFF exists");
+/// assert!(lib.cell(dff).function().is_sequential());
+/// // Fillers come in power-of-two site widths for gap filling.
+/// assert!(!lib.fillers().is_empty());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Library {
+    name: String,
+    site_width_um: f64,
+    row_height_um: f64,
+    voltage_v: f64,
+    cells: Vec<CellDef>,
+    #[serde(skip)]
+    by_name: HashMap<String, LibCellId>,
+}
+
+impl Library {
+    /// Builds a library from explicit geometry and a cell catalogue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two cells share a name, or geometry is non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        site_width_um: f64,
+        row_height_um: f64,
+        voltage_v: f64,
+        cells: Vec<CellDef>,
+    ) -> Self {
+        assert!(site_width_um > 0.0 && row_height_um > 0.0 && voltage_v > 0.0);
+        let mut by_name = HashMap::with_capacity(cells.len());
+        for (i, c) in cells.iter().enumerate() {
+            let prev = by_name.insert(c.name().to_string(), LibCellId::new(i));
+            assert!(prev.is_none(), "duplicate cell name {}", c.name());
+        }
+        Library {
+            name: name.into(),
+            site_width_um,
+            row_height_um,
+            voltage_v,
+            cells,
+            by_name,
+        }
+    }
+
+    /// The synthetic 65 nm-class library used throughout the reproduction.
+    ///
+    /// Geometry is calibrated so the paper's Table I is reproduced exactly:
+    /// row pitch 2.7 µm means 20 inserted rows grow a 335 µm core by 16.1 %.
+    pub fn c65() -> Self {
+        Library::new("c65cool", 0.3, 2.7, 1.0, c65_cells())
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Placement site width in microns.
+    pub fn site_width_um(&self) -> f64 {
+        self.site_width_um
+    }
+
+    /// Layout row height (= row pitch) in microns.
+    pub fn row_height_um(&self) -> f64 {
+        self.row_height_um
+    }
+
+    /// Nominal supply voltage in volts.
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Number of cell masters.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The master with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this library.
+    pub fn cell(&self, id: LibCellId) -> &CellDef {
+        &self.cells[id.index()]
+    }
+
+    /// Looks a master up by name.
+    pub fn find(&self, name: &str) -> Option<LibCellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The master implementing `function` at drive `drive`, if present.
+    pub fn cell_for(&self, function: CellFunction, drive: Drive) -> Option<LibCellId> {
+        self.cells
+            .iter()
+            .position(|c| c.function() == function && c.drive() == drive)
+            .map(LibCellId::new)
+    }
+
+    /// The weakest-drive master implementing `function`, if present.
+    pub fn any_cell_for(&self, function: CellFunction) -> Option<LibCellId> {
+        [Drive::X1, Drive::X2, Drive::X4]
+            .into_iter()
+            .find_map(|d| self.cell_for(function, d))
+    }
+
+    /// Filler (dummy) cell ids sorted by width, widest first — the greedy
+    /// gap-filling order.
+    pub fn fillers(&self) -> Vec<LibCellId> {
+        let mut ids: Vec<LibCellId> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.function() == CellFunction::Filler)
+            .map(|(i, _)| LibCellId::new(i))
+            .collect();
+        ids.sort_by_key(|id| std::cmp::Reverse(self.cell(*id).width_sites()));
+        ids
+    }
+
+    /// Physical width of a master in microns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell_width_um(&self, id: LibCellId) -> f64 {
+        self.cell(id).width_sites() as f64 * self.site_width_um
+    }
+
+    /// Physical area of a master in µm².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell_area_um2(&self, id: LibCellId) -> f64 {
+        self.cell_width_um(id) * self.row_height_um
+    }
+
+    /// Iterates over `(id, master)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LibCellId, &CellDef)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (LibCellId::new(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c65_covers_every_function() {
+        let lib = Library::c65();
+        for f in CellFunction::ALL {
+            assert!(
+                lib.any_cell_for(f).is_some(),
+                "function {f} missing from c65 library"
+            );
+        }
+    }
+
+    #[test]
+    fn find_by_name_roundtrips() {
+        let lib = Library::c65();
+        for (id, def) in lib.iter() {
+            assert_eq!(lib.find(def.name()), Some(id));
+        }
+    }
+
+    #[test]
+    fn fillers_are_sorted_widest_first_and_include_unit_width() {
+        let lib = Library::c65();
+        let fillers = lib.fillers();
+        assert!(fillers.len() >= 4);
+        for pair in fillers.windows(2) {
+            assert!(lib.cell(pair[0]).width_sites() >= lib.cell(pair[1]).width_sites());
+        }
+        assert_eq!(
+            lib.cell(*fillers.last().expect("non-empty")).width_sites(),
+            1,
+            "a 1-site filler is required to guarantee any gap can be filled"
+        );
+    }
+
+    #[test]
+    fn fillers_consume_no_power() {
+        let lib = Library::c65();
+        for id in lib.fillers() {
+            let c = lib.cell(id);
+            assert_eq!(c.switching_energy_fj(), 0.0);
+            assert_eq!(c.leakage_nw(), 0.0);
+            assert_eq!(c.input_cap_ff(), 0.0);
+        }
+    }
+
+    #[test]
+    fn geometry_matches_table1_calibration() {
+        let lib = Library::c65();
+        // 20 rows × 2.7 µm = 54 µm; 54 / 335 = 16.1 % (paper Table I).
+        let growth = 20.0 * lib.row_height_um();
+        assert!((growth / 335.0 - 0.161).abs() < 0.001);
+    }
+
+    #[test]
+    fn stronger_drives_have_lower_resistance() {
+        let lib = Library::c65();
+        for f in [CellFunction::Inv, CellFunction::Nand2, CellFunction::Buf] {
+            let x1 = lib.cell(lib.cell_for(f, Drive::X1).unwrap());
+            let x2 = lib.cell(lib.cell_for(f, Drive::X2).unwrap());
+            assert!(x1.drive_res_kohm() > x2.drive_res_kohm());
+            assert!(x1.width_sites() < x2.width_sites());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell name")]
+    fn duplicate_names_rejected() {
+        let c = CellDef::new("DUP", CellFunction::Inv, Drive::X1, 2);
+        let _ = Library::new("bad", 0.3, 2.7, 1.0, vec![c.clone(), c]);
+    }
+
+    #[test]
+    fn sequential_cells_have_clock_energy() {
+        let lib = Library::c65();
+        let dff = lib.cell(lib.any_cell_for(CellFunction::Dff).unwrap());
+        assert!(dff.clock_energy_fj() > 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Construction of the equivalent resistive network.
+//!
+//! The mesh follows the paper's Fig. 1: each thermal cell is a node with
+//! resistances toward its six neighbours (`R = l/(k·A)`), capacitors
+//! dropped at steady state. Node indexing is `(ix, iy, iz)` with `iz = 0`
+//! the bottom layer.
+
+use geom::{Grid2d, Rect};
+use spicenet::{Circuit, NodeId, NodeRef, SolveOptions};
+
+use crate::{LayerStack, ThermalError};
+
+const UM_TO_M: f64 = 1e-6;
+
+/// The assembled network plus the node bookkeeping needed to read back
+/// the active-layer temperatures.
+pub(crate) struct ThermalNetwork {
+    pub circuit: Circuit,
+    pub active_nodes: Vec<NodeId>,
+}
+
+pub(crate) fn build_network(
+    nx: usize,
+    ny: usize,
+    die: Rect,
+    stack: &LayerStack,
+    power: &Grid2d<f64>,
+) -> Result<ThermalNetwork, ThermalError> {
+    let nz = stack.layers().len();
+    let dx = die.width() / nx as f64 * UM_TO_M;
+    let dy = die.height() / ny as f64 * UM_TO_M;
+    let mut circuit = Circuit::new();
+
+    // Node ids in (iz, iy, ix) order.
+    let mut nodes = Vec::with_capacity(nx * ny * nz);
+    for iz in 0..nz {
+        for iy in 0..ny {
+            for ix in 0..nx {
+                nodes.push(circuit.node(format!("t_{ix}_{iy}_{iz}")));
+            }
+        }
+    }
+    let node = |ix: usize, iy: usize, iz: usize| nodes[(iz * ny + iy) * nx + ix];
+
+    // Ambient reference, pinned by a voltage source (the paper's boundary
+    // condition: "cells on the boundary are connected to voltage sources
+    // which model the ambient temperature"). The bottom boundary reaches
+    // ambient through the shared, die-area-independent package resistance
+    // (heat spreader + sink).
+    let ambient = circuit.node("ambient");
+    circuit
+        .voltage_source(NodeRef::Node(ambient), NodeRef::Ground, stack.ambient_c)
+        .map_err(ThermalError::from_circuit)?;
+    let bottom_sink = if stack.package_resistance_k_w > 0.0 {
+        let pkg = circuit.node("package");
+        circuit
+            .resistor(
+                NodeRef::Node(pkg),
+                NodeRef::Node(ambient),
+                stack.package_resistance_k_w,
+            )
+            .map_err(ThermalError::from_circuit)?;
+        pkg
+    } else {
+        ambient
+    };
+
+    for (iz, layer) in stack.layers().iter().enumerate() {
+        let tz = layer.thickness_um * UM_TO_M;
+        let k = layer.conductivity_w_mk;
+        // Lateral resistances: R = dx / (k · dy · tz) and symmetrically.
+        let r_x = dx / (k * dy * tz);
+        let r_y = dy / (k * dx * tz);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let here = NodeRef::Node(node(ix, iy, iz));
+                if ix + 1 < nx {
+                    circuit
+                        .resistor(here, NodeRef::Node(node(ix + 1, iy, iz)), r_x)
+                        .map_err(ThermalError::from_circuit)?;
+                }
+                if iy + 1 < ny {
+                    circuit
+                        .resistor(here, NodeRef::Node(node(ix, iy + 1, iz)), r_y)
+                        .map_err(ThermalError::from_circuit)?;
+                }
+            }
+        }
+    }
+
+    // Vertical resistances: series half-thicknesses of adjacent layers.
+    let area = dx * dy;
+    for iz in 0..nz - 1 {
+        let a = &stack.layers()[iz];
+        let b = &stack.layers()[iz + 1];
+        let r = (a.thickness_um * UM_TO_M / 2.0) / (a.conductivity_w_mk * area)
+            + (b.thickness_um * UM_TO_M / 2.0) / (b.conductivity_w_mk * area);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                circuit
+                    .resistor(
+                        NodeRef::Node(node(ix, iy, iz)),
+                        NodeRef::Node(node(ix, iy, iz + 1)),
+                        r,
+                    )
+                    .map_err(ThermalError::from_circuit)?;
+            }
+        }
+    }
+
+    // Package boundaries: half-layer conduction plus the film coefficient.
+    let bottom = &stack.layers()[0];
+    let r_bottom = (bottom.thickness_um * UM_TO_M / 2.0) / (bottom.conductivity_w_mk * area)
+        + 1.0 / (stack.h_bottom_w_m2k * area);
+    let top = &stack.layers()[nz - 1];
+    let r_top = (top.thickness_um * UM_TO_M / 2.0) / (top.conductivity_w_mk * area)
+        + 1.0 / (stack.h_top_w_m2k * area);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            circuit
+                .resistor(
+                    NodeRef::Node(node(ix, iy, 0)),
+                    NodeRef::Node(bottom_sink),
+                    r_bottom,
+                )
+                .map_err(ThermalError::from_circuit)?;
+            circuit
+                .resistor(
+                    NodeRef::Node(node(ix, iy, nz - 1)),
+                    NodeRef::Node(ambient),
+                    r_top,
+                )
+                .map_err(ThermalError::from_circuit)?;
+        }
+    }
+
+    // Power injection at the active layer: W → A (1 W ≡ 1 A in the
+    // thermal-electrical analogy).
+    let active = stack.active_layer();
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let watts = *power.get(ix, iy);
+            if watts < 0.0 || !watts.is_finite() {
+                return Err(ThermalError::InvalidPower {
+                    bin: (ix, iy),
+                    watts,
+                });
+            }
+            if watts > 0.0 {
+                circuit
+                    .current_source(NodeRef::Ground, NodeRef::Node(node(ix, iy, active)), watts)
+                    .map_err(ThermalError::from_circuit)?;
+            }
+        }
+    }
+
+    let active_nodes = (0..ny)
+        .flat_map(|iy| (0..nx).map(move |ix| (ix, iy)))
+        .map(|(ix, iy)| node(ix, iy, active))
+        .collect();
+    Ok(ThermalNetwork {
+        circuit,
+        active_nodes,
+    })
+}
+
+impl ThermalNetwork {
+    pub(crate) fn solve(&self, tolerance: f64) -> Result<Vec<f64>, ThermalError> {
+        let sol = self
+            .circuit
+            .solve(SolveOptions {
+                tolerance,
+                ..Default::default()
+            })
+            .map_err(ThermalError::Solve)?;
+        Ok(self
+            .active_nodes
+            .iter()
+            .map(|&n| sol.voltage(NodeRef::Node(n)))
+            .collect())
+    }
+}

@@ -1,0 +1,300 @@
+use geom::{Grid2d, Rect};
+use serde::{Deserialize, Serialize};
+
+use crate::network::build_network;
+use crate::{LayerStack, ThermalMap};
+
+/// Lateral (x/y) mesh resolution.
+///
+/// The paper uses 40×40 (1600 surface cells, "a measuring point covers
+/// less than 10 standard cells" for a ~12k-cell design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Bins along x.
+    pub nx: usize,
+    /// Bins along y.
+    pub ny: usize,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec { nx: 40, ny: 40 }
+    }
+}
+
+/// Full thermal-simulation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Lateral mesh resolution.
+    pub grid: GridSpec,
+    /// Z-layer stack and boundary conditions.
+    pub stack: LayerStack,
+    /// Relative residual tolerance for the linear solve.
+    pub tolerance: f64,
+}
+
+impl ThermalConfig {
+    /// The paper's configuration: 40×40 mesh over the 9-layer `c65` stack.
+    pub fn paper() -> Self {
+        ThermalConfig {
+            grid: GridSpec::default(),
+            stack: LayerStack::c65(),
+            tolerance: 1e-9,
+        }
+    }
+
+    /// Paper stack at a custom lateral resolution (for tests and the
+    /// grid-resolution ablation).
+    pub fn with_resolution(nx: usize, ny: usize) -> Self {
+        ThermalConfig {
+            grid: GridSpec { nx, ny },
+            ..ThermalConfig::paper()
+        }
+    }
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig::paper()
+    }
+}
+
+/// Errors from thermal model construction or the linear solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// The power map does not match the mesh resolution or die outline.
+    PowerGridMismatch {
+        /// Expected `(nx, ny)`.
+        expected: (usize, usize),
+        /// Power map's `(nx, ny)`.
+        got: (usize, usize),
+    },
+    /// A power bin held a negative or non-finite value.
+    InvalidPower {
+        /// The offending bin.
+        bin: (usize, usize),
+        /// The rejected value.
+        watts: f64,
+    },
+    /// The underlying linear solver failed.
+    Solve(spicenet::SolveError),
+    /// Internal circuit construction error (a bug if it ever surfaces).
+    Circuit(String),
+}
+
+impl ThermalError {
+    pub(crate) fn from_circuit(e: spicenet::CircuitError) -> Self {
+        ThermalError::Circuit(e.to_string())
+    }
+}
+
+impl std::fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThermalError::PowerGridMismatch { expected, got } => write!(
+                f,
+                "power map is {}x{} but the mesh is {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            ThermalError::InvalidPower { bin, watts } => {
+                write!(f, "invalid power {watts} W in bin ({}, {})", bin.0, bin.1)
+            }
+            ThermalError::Solve(e) => write!(f, "thermal solve failed: {e}"),
+            ThermalError::Circuit(e) => write!(f, "thermal network construction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThermalError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The steady-state thermal simulator.
+///
+/// See the [crate docs](crate) for the model description and an example.
+#[derive(Debug, Clone, Default)]
+pub struct ThermalSimulator {
+    config: ThermalConfig,
+}
+
+impl ThermalSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: ThermalConfig) -> Self {
+        ThermalSimulator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// Solves the steady-state temperature field for `power` (watts per
+    /// thermal bin, covering the die outline `die`) and returns the
+    /// active-layer [`ThermalMap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerGridMismatch`] when the power map
+    /// resolution differs from the mesh, [`ThermalError::InvalidPower`]
+    /// for negative/NaN bins, and [`ThermalError::Solve`] if the linear
+    /// system cannot be solved.
+    pub fn solve(&self, die: Rect, power: &Grid2d<f64>) -> Result<ThermalMap, ThermalError> {
+        let GridSpec { nx, ny } = self.config.grid;
+        if power.nx() != nx || power.ny() != ny {
+            return Err(ThermalError::PowerGridMismatch {
+                expected: (nx, ny),
+                got: (power.nx(), power.ny()),
+            });
+        }
+        let network = build_network(nx, ny, die, &self.config.stack, power)?;
+        let temps = network.solve(self.config.tolerance)?;
+        let mut grid = Grid2d::new(nx, ny, die, 0.0);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                *grid.get_mut(ix, iy) = temps[iy * nx + ix];
+            }
+        }
+        Ok(ThermalMap::new(grid, self.config.stack.ambient_c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> Rect {
+        Rect::new(0.0, 0.0, 335.0, 335.0)
+    }
+
+    fn uniform_power(total_w: f64, n: usize) -> Grid2d<f64> {
+        let mut g = Grid2d::new(n, n, die(), 0.0);
+        let per = total_w / (n * n) as f64;
+        g.values_mut().iter_mut().for_each(|v| *v = per);
+        g
+    }
+
+    #[test]
+    fn zero_power_is_ambient_everywhere() {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(10, 10));
+        let map = sim.solve(die(), &Grid2d::new(10, 10, die(), 0.0)).unwrap();
+        for (_, &t) in map.grid().iter() {
+            assert!((t - 25.0).abs() < 1e-6, "expected ambient, got {t}");
+        }
+        assert!(map.peak_rise().abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_power_heats_uniformly() {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(10, 10));
+        let map = sim.solve(die(), &uniform_power(5e-3, 10)).unwrap();
+        assert!(map.peak_rise() > 0.5, "5 mW should heat a 0.1 mm² die");
+        assert!(map.peak_rise() < 100.0, "…but not melt it");
+        // Per-cell package exit + adiabatic sides + uniform injection →
+        // a (numerically) flat field.
+        assert!(map.gradient() < 1e-3 * map.peak_rise());
+    }
+
+    #[test]
+    fn hotspot_is_warmer_than_far_field() {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(16, 16));
+        let mut p = Grid2d::new(16, 16, die(), 0.0);
+        *p.get_mut(3, 3) = 2e-3;
+        let map = sim.solve(die(), &p).unwrap();
+        let (peak_bin, _) = map.peak_bin();
+        assert_eq!(peak_bin, (3, 3), "peak must sit on the injection");
+        let near = *map.grid().get(3, 3);
+        let far = *map.grid().get(14, 14);
+        assert!(near > far + 1e-3, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn doubling_power_doubles_rise() {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(8, 8));
+        let m1 = sim.solve(die(), &uniform_power(2e-3, 8)).unwrap();
+        let m2 = sim.solve(die(), &uniform_power(4e-3, 8)).unwrap();
+        assert!((m2.peak_rise() - 2.0 * m1.peak_rise()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotonicity_adding_power_never_cools_any_cell() {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(8, 8));
+        let mut p1 = Grid2d::new(8, 8, die(), 0.0);
+        *p1.get_mut(2, 2) = 1e-3;
+        let m1 = sim.solve(die(), &p1).unwrap();
+        let mut p2 = p1.clone();
+        *p2.get_mut(6, 6) = 1e-3;
+        let m2 = sim.solve(die(), &p2).unwrap();
+        for ((_, &a), (_, &b)) in m1.grid().iter().zip(m2.grid().iter()) {
+            assert!(b >= a - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bigger_die_runs_cooler_at_same_power() {
+        // The core mechanism behind the paper's Default scheme: area
+        // overhead lowers the total thermal resistance.
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(10, 10));
+        let small = die();
+        let big = Rect::new(0.0, 0.0, 400.0, 400.0);
+        let mut p_small = Grid2d::new(10, 10, small, 0.0);
+        let mut p_big = Grid2d::new(10, 10, big, 0.0);
+        for v in p_small.values_mut() {
+            *v = 5e-5;
+        }
+        for v in p_big.values_mut() {
+            *v = 5e-5;
+        }
+        let m_small = sim.solve(small, &p_small).unwrap();
+        let m_big = sim.solve(big, &p_big).unwrap();
+        assert!(m_big.peak_rise() < m_small.peak_rise());
+    }
+
+    #[test]
+    fn mismatched_power_grid_is_rejected() {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(8, 8));
+        let p = Grid2d::new(4, 4, die(), 0.0);
+        assert!(matches!(
+            sim.solve(die(), &p),
+            Err(ThermalError::PowerGridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_power_is_rejected() {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(4, 4));
+        let mut p = Grid2d::new(4, 4, die(), 0.0);
+        *p.get_mut(1, 1) = -1.0;
+        assert!(matches!(
+            sim.solve(die(), &p),
+            Err(ThermalError::InvalidPower { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_balance_heat_out_equals_power_in() {
+        // Sum of currents through the ambient source equals total power.
+        use spicenet::{NodeRef, SolveOptions};
+        let n = 6;
+        let mut p = Grid2d::new(n, n, die(), 0.0);
+        *p.get_mut(1, 4) = 3e-3;
+        *p.get_mut(4, 1) = 2e-3;
+        let stack = crate::LayerStack::c65();
+        let network = crate::network::build_network(n, n, die(), &stack, &p).unwrap();
+        let sol = network.circuit.solve(SolveOptions::default()).unwrap();
+        // The single voltage source feeds the ambient node; at steady state
+        // it must absorb exactly the injected 5 mW (current convention:
+        // delivered into the circuit is negative when absorbing).
+        let absorbed = -sol.vsource_current(0);
+        let ambient_node = network.circuit.find_node("ambient").unwrap();
+        let _ = sol.voltage(NodeRef::Node(ambient_node));
+        assert!(
+            (absorbed - 5e-3).abs() < 5e-3 * 1e-6 + 1e-12,
+            "ambient absorbs {absorbed} W, injected 5e-3 W"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+/// Timing-model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingConfig {
+    /// Clock period in ps (1000 ps = the paper's 1 GHz).
+    pub clock_period_ps: f64,
+    /// Wire resistance in Ω/µm of HPWL.
+    pub wire_res_ohm_per_um: f64,
+    /// Wire capacitance in fF/µm of HPWL.
+    pub wire_cap_ff_per_um: f64,
+    /// Cell-delay derating per kelvin above reference (0.004 = the
+    /// paper's "4% for every 10 °C" drive loss).
+    pub cell_derate_per_c: f64,
+    /// Wire-delay derating per kelvin above reference (0.005 = the
+    /// paper's "5% for every 10 °C").
+    pub wire_derate_per_c: f64,
+    /// Reference temperature in °C.
+    pub reference_temp_c: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            clock_period_ps: 1000.0,
+            wire_res_ohm_per_um: 1.0,
+            wire_cap_ff_per_um: 0.2,
+            cell_derate_per_c: 0.004,
+            wire_derate_per_c: 0.005,
+            reference_temp_c: 25.0,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// Cell-delay multiplier at temperature `t_c`.
+    pub fn cell_derate(&self, t_c: f64) -> f64 {
+        (1.0 + self.cell_derate_per_c * (t_c - self.reference_temp_c)).max(0.1)
+    }
+
+    /// Wire-delay multiplier at temperature `t_c`.
+    pub fn wire_derate(&self, t_c: f64) -> f64 {
+        (1.0 + self.wire_derate_per_c * (t_c - self.reference_temp_c)).max(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derating_matches_paper_coefficients() {
+        let cfg = TimingConfig::default();
+        // +10 °C → cells 4% slower, wires 5% slower.
+        assert!((cfg.cell_derate(35.0) - 1.04).abs() < 1e-12);
+        assert!((cfg.wire_derate(35.0) - 1.05).abs() < 1e-12);
+        // At reference: unity.
+        assert!((cfg.cell_derate(25.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,293 @@
+use netlist::{topo_order, CellId, NetDriver, Netlist};
+use placement::{Floorplan, Placement};
+use thermalsim::ThermalMap;
+
+use crate::{TimingConfig, TimingReport};
+
+/// Runs static timing analysis.
+///
+/// Launch points are primary-input nets (arrival 0) and flip-flop `Q`
+/// outputs (arrival = the flop's clk→Q intrinsic delay); capture points
+/// are flip-flop `D` pins and primary outputs. When `temps` is given,
+/// every cell and wire delay is derated at the driving cell's local
+/// temperature.
+///
+/// # Panics
+///
+/// Panics if the netlist contains combinational cycles (impossible for
+/// validated netlists) or any cell is unplaced.
+pub fn analyze(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    placement: &Placement,
+    temps: Option<&ThermalMap>,
+    config: &TimingConfig,
+) -> TimingReport {
+    let lib = netlist.library();
+    let order = topo_order(netlist).expect("validated netlist");
+    let cell_temp = |cell: CellId| -> f64 {
+        match temps {
+            None => config.reference_temp_c,
+            Some(map) => {
+                let c = placement
+                    .cell_center(netlist, floorplan, cell)
+                    .expect("timing requires a fully placed design");
+                match map.grid().bin_of(c.x, c.y) {
+                    Some((ix, iy)) => *map.grid().get(ix, iy),
+                    None => map.ambient_c(),
+                }
+            }
+        }
+    };
+
+    // Arrival time at each net (at the driver output) and the driving
+    // cell that realizes it (for path recovery).
+    let mut arrival = vec![0.0f64; netlist.net_count()];
+    let mut from_cell: Vec<Option<CellId>> = vec![None; netlist.net_count()];
+
+    // Launch: flop outputs.
+    let mut is_seq = vec![false; netlist.cell_count()];
+    for (id, cell) in netlist.cells() {
+        let def = lib.cell(cell.master());
+        if def.function().is_sequential() {
+            is_seq[id.index()] = true;
+            let t = cell_temp(id);
+            let q_net = netlist.pin(cell.output_pins()[0]).net();
+            arrival[q_net.index()] = def.intrinsic_delay_ps() * config.cell_derate(t);
+            from_cell[q_net.index()] = Some(id);
+        }
+    }
+
+    // Propagate through combinational cells in topological order.
+    let mut best_pred: Vec<Option<CellId>> = vec![None; netlist.cell_count()];
+    for &cell_id in &order {
+        let cell = netlist.cell(cell_id);
+        let def = lib.cell(cell.master());
+        let t = cell_temp(cell_id);
+        let my_center = placement
+            .cell_center(netlist, floorplan, cell_id)
+            .expect("timing requires a fully placed design");
+        // Worst input arrival, including the wire from each fan-in driver.
+        let mut worst_in = 0.0f64;
+        let mut worst_pred = None;
+        for &pin in cell.input_pins() {
+            let net = netlist.pin(pin).net();
+            let base = arrival[net.index()];
+            let wire = match netlist.net(net).driver() {
+                NetDriver::Pin(dpin) => {
+                    let driver = netlist.pin(dpin).cell();
+                    let dcenter = placement
+                        .cell_center(netlist, floorplan, driver)
+                        .expect("placed");
+                    let dist = dcenter.manhattan_to(my_center);
+                    let r_wire = dist * config.wire_res_ohm_per_um / 1000.0; // kΩ
+                    let c_wire = dist * config.wire_cap_ff_per_um;
+                    let c_sink = def.input_cap_ff();
+                    (r_wire * (c_wire / 2.0 + c_sink)) * config.wire_derate(cell_temp(driver))
+                }
+                _ => 0.0,
+            };
+            let a = base + wire;
+            if a > worst_in {
+                worst_in = a;
+                worst_pred = match netlist.net(net).driver() {
+                    NetDriver::Pin(dpin) => Some(netlist.pin(dpin).cell()),
+                    _ => None,
+                };
+            }
+        }
+        best_pred[cell_id.index()] = worst_pred;
+        // Cell delay: intrinsic + R_drive × (pin caps + wire cap).
+        for &out_pin in cell.output_pins() {
+            let net = netlist.pin(out_pin).net();
+            let mut c_load = 0.0;
+            for &sink in netlist.net(net).sinks() {
+                let sink_cell = netlist.cell(netlist.pin(sink).cell());
+                c_load += lib.cell(sink_cell.master()).input_cap_ff();
+            }
+            c_load +=
+                placement::net_hpwl(netlist, floorplan, placement, net) * config.wire_cap_ff_per_um;
+            let delay =
+                (def.intrinsic_delay_ps() + def.drive_res_kohm() * c_load) * config.cell_derate(t);
+            let a = worst_in + delay;
+            if a > arrival[net.index()] {
+                arrival[net.index()] = a;
+                from_cell[net.index()] = Some(cell_id);
+            }
+        }
+    }
+
+    // Capture: flop D pins (+ setup, folded into intrinsic here) and
+    // primary outputs.
+    let mut critical = 0.0f64;
+    let mut end_cell: Option<CellId> = None;
+    for (id, cell) in netlist.cells() {
+        if !is_seq[id.index()] {
+            continue;
+        }
+        let d_net = netlist.pin(cell.input_pins()[0]).net();
+        let a = arrival[d_net.index()];
+        if a > critical {
+            critical = a;
+            end_cell = from_cell[d_net.index()];
+        }
+    }
+    for port in netlist.output_ports() {
+        let a = arrival[port.net().index()];
+        if a > critical {
+            critical = a;
+            end_cell = from_cell[port.net().index()];
+        }
+    }
+
+    // Recover the critical path by walking predecessors.
+    let mut critical_cells = Vec::new();
+    let mut cursor = end_cell;
+    while let Some(c) = cursor {
+        critical_cells.push(c);
+        if is_seq[c.index()] {
+            break;
+        }
+        cursor = best_pred[c.index()];
+    }
+    critical_cells.reverse();
+
+    TimingReport {
+        critical_path_ps: critical,
+        slack_ps: config.clock_period_ps - critical,
+        critical_cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arithgen::{build_benchmark, ripple_carry_adder, BenchmarkConfig};
+    use netlist::NetlistBuilder;
+    use placement::{Placer, PlacerConfig};
+    use stdcell::{CellFunction, Drive, Library};
+
+    fn place_small() -> (Netlist, placement::PlacementResult) {
+        let nl = build_benchmark(&BenchmarkConfig::small()).unwrap();
+        let placed = Placer::new(PlacerConfig::default()).place(&nl).unwrap();
+        (nl, placed)
+    }
+
+    #[test]
+    fn longer_chains_are_slower() {
+        let build_chain = |n: usize| {
+            let mut b = NetlistBuilder::new("t", Library::c65());
+            let u = b.add_unit("u");
+            let a = b.input_port("a", u);
+            let mut prev = a;
+            for i in 0..n {
+                let net = b.net(format!("n{i}"));
+                b.cell(u, CellFunction::Inv, Drive::X1, &[prev], &[net])
+                    .unwrap();
+                prev = net;
+            }
+            let q = b.net("q");
+            b.cell(u, CellFunction::Dff, Drive::X1, &[prev], &[q])
+                .unwrap();
+            let nl = b.finish().unwrap();
+            let placed = Placer::new(PlacerConfig::default()).place(&nl).unwrap();
+            analyze(
+                &nl,
+                &placed.floorplan,
+                &placed.placement,
+                None,
+                &TimingConfig::default(),
+            )
+            .critical_path_ps
+        };
+        let d4 = build_chain(4);
+        let d12 = build_chain(12);
+        assert!(d12 > d4 * 2.0, "12-chain {d12} vs 4-chain {d4}");
+    }
+
+    #[test]
+    fn rca_critical_path_grows_with_width() {
+        let delay = |w: usize| {
+            let mut b = NetlistBuilder::new("t", Library::c65());
+            ripple_carry_adder(&mut b, "rca", w);
+            let nl = b.finish().unwrap();
+            let placed = Placer::new(PlacerConfig::default()).place(&nl).unwrap();
+            analyze(
+                &nl,
+                &placed.floorplan,
+                &placed.placement,
+                None,
+                &TimingConfig::default(),
+            )
+            .critical_path_ps
+        };
+        let d8 = delay(8);
+        let d32 = delay(32);
+        assert!(d32 > 2.5 * d8, "32-bit {d32} vs 8-bit {d8}");
+    }
+
+    #[test]
+    fn critical_path_ends_at_a_register_boundary() {
+        let (nl, placed) = place_small();
+        let report = analyze(
+            &nl,
+            &placed.floorplan,
+            &placed.placement,
+            None,
+            &TimingConfig::default(),
+        );
+        assert!(!report.critical_cells.is_empty());
+        // Path starts at a launch flop (or a port-fed cell).
+        let first = report.critical_cells[0];
+        let f = nl.library().cell(nl.cell(first).master()).function();
+        assert!(
+            f.is_sequential() || !report.critical_cells.is_empty(),
+            "path should start at a register: starts at {f}"
+        );
+        assert!(report.critical_path_ps > 100.0);
+    }
+
+    #[test]
+    fn uniform_heating_slows_the_design() {
+        use geom::Grid2d;
+        let (nl, placed) = place_small();
+        let cfg = TimingConfig::default();
+        let cold = analyze(&nl, &placed.floorplan, &placed.placement, None, &cfg);
+        let mut g = Grid2d::new(8, 8, placed.floorplan.core(), 50.0);
+        g.values_mut().iter_mut().for_each(|v| *v = 50.0);
+        let hot_map = ThermalMap::new(g, 25.0);
+        let hot = analyze(
+            &nl,
+            &placed.floorplan,
+            &placed.placement,
+            Some(&hot_map),
+            &cfg,
+        );
+        let overhead = cold.overhead_to(&hot);
+        // +25 K → cells ≥ +10%, wires +12.5%; expect ≥ 9% overall.
+        assert!(
+            overhead > 9.0 && overhead < 13.0,
+            "thermal derating overhead {overhead}%"
+        );
+    }
+
+    #[test]
+    fn spreading_cells_apart_increases_wire_delay() {
+        let nl = build_benchmark(&BenchmarkConfig::small()).unwrap();
+        let tight = Placer::new(PlacerConfig::with_utilization(0.9))
+            .place(&nl)
+            .unwrap();
+        let loose = Placer::new(PlacerConfig::with_utilization(0.25))
+            .place(&nl)
+            .unwrap();
+        let cfg = TimingConfig::default();
+        let dt = analyze(&nl, &tight.floorplan, &tight.placement, None, &cfg);
+        let dl = analyze(&nl, &loose.floorplan, &loose.placement, None, &cfg);
+        assert!(
+            dl.critical_path_ps > dt.critical_path_ps,
+            "loose {} vs tight {}",
+            dl.critical_path_ps,
+            dt.critical_path_ps
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's test set 2: a single large concentrated hotspot (the Booth
+//! multiplier active). Reproduces the Table I comparison — Default versus
+//! empty row insertion at matched area overheads.
+//!
+//! ```sh
+//! cargo run --release --example concentrated_hotspot
+//! ```
+
+use coolplace::postplace::{classify_hotspots, detect_hotspots, Flow, FlowConfig, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = Flow::new(FlowConfig::concentrated_large())?;
+    let (_, before) = flow.baseline_maps()?;
+    let hotspots = detect_hotspots(&before, &flow.config().hotspot);
+    println!(
+        "baseline: peak rise {:.2} K; pattern classified as {:?}",
+        before.peak_rise(),
+        classify_hotspots(&hotspots, before.die())
+    );
+    print!("{}", before.to_ascii());
+
+    let fp = &flow.base_placement().floorplan;
+    println!(
+        "\n{:<10} {:>8} {:>10} {:>12}  (paper Table I)",
+        "scheme", "rows", "overhead", "reduction"
+    );
+    for (overhead, paper_default, paper_eri) in [(0.161, 11.3, 13.1), (0.322, 20.2, 28.6)] {
+        let rows = ((overhead * fp.num_rows() as f64).round() as usize).max(1);
+        let def = flow.run(Strategy::UniformSlack {
+            area_overhead: overhead,
+        })?;
+        let eri = flow.run(Strategy::EmptyRowInsertion { rows })?;
+        println!(
+            "{:<10} {:>8} {:>9.1}% {:>11.2}%  (paper {paper_default}%)",
+            "Default",
+            "-",
+            def.area_overhead_pct,
+            def.reduction_pct()
+        );
+        println!(
+            "{:<10} {:>8} {:>9.1}% {:>11.2}%  (paper {paper_eri}%)",
+            "ERI",
+            rows,
+            eri.area_overhead_pct,
+            eri.reduction_pct()
+        );
+    }
+    Ok(())
+}

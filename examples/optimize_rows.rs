@@ -1,0 +1,44 @@
+//! The paper's future work, realized: instead of sweeping row counts by
+//! hand, ask the optimizer for the *minimum* number of empty rows that
+//! reaches a target peak-temperature reduction, and for the best
+//! technique under an area budget.
+//!
+//! ```sh
+//! cargo run --release --example optimize_rows [target_reduction_pct]
+//! ```
+
+use coolplace::postplace::{
+    best_strategy_within_budget, minimize_rows_for_target, Flow, FlowConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<f64>())
+        .transpose()?
+        .unwrap_or(10.0);
+
+    let flow = Flow::new(FlowConfig::scattered_small())?;
+    let rows0 = flow.base_placement().floorplan.num_rows();
+
+    println!("target: {target:.1}% peak-temperature reduction");
+    let opt = minimize_rows_for_target(&flow, target, rows0 / 2)?;
+    println!(
+        "minimum rows: {} (+{:.1}% area) → {:.2}% reduction, found in {} evaluations",
+        opt.rows,
+        opt.report.area_overhead_pct,
+        opt.report.reduction_pct(),
+        opt.evaluations
+    );
+
+    for budget in [0.10, 0.20] {
+        let best = best_strategy_within_budget(&flow, budget)?;
+        println!(
+            "best strategy within +{:.0}% area: {} → {:.2}% reduction",
+            budget * 100.0,
+            best.strategy,
+            best.reduction_pct()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! The paper's test set 1: four scattered small hotspots (the four
+//! corner units active). Runs all three whitespace strategies at a
+//! matched overhead and prints the comparison, plus ASCII thermal maps.
+//!
+//! ```sh
+//! cargo run --release --example scattered_hotspots [overhead_pct]
+//! ```
+
+use coolplace::postplace::{detect_hotspots, Flow, FlowConfig, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let overhead: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<f64>())
+        .transpose()?
+        .unwrap_or(16.0)
+        / 100.0;
+
+    let flow = Flow::new(FlowConfig::scattered_small())?;
+    let (_, before) = flow.baseline_maps()?;
+    println!("== baseline thermal map (hottest = @) ==");
+    print!("{}", before.to_ascii());
+    let hotspots = detect_hotspots(&before, &flow.config().hotspot);
+    println!(
+        "peak rise {:.2} K, {} hotspot component(s) detected",
+        before.peak_rise(),
+        hotspots.len()
+    );
+
+    let rows = (overhead * flow.base_placement().floorplan.num_rows() as f64).round() as usize;
+    println!(
+        "\n{:<28} {:>10} {:>12} {:>10}",
+        "strategy", "overhead", "reduction", "timing"
+    );
+    for strategy in [
+        Strategy::UniformSlack {
+            area_overhead: overhead,
+        },
+        Strategy::EmptyRowInsertion { rows },
+        Strategy::HotspotWrapper {
+            area_overhead: overhead,
+        },
+    ] {
+        let r = flow.run(strategy)?;
+        println!(
+            "{:<28} {:>9.1}% {:>11.2}% {:>+9.2}%",
+            strategy.to_string(),
+            r.area_overhead_pct,
+            r.reduction_pct(),
+            r.timing_overhead_pct()
+        );
+    }
+    Ok(())
+}

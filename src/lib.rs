@@ -1,0 +1,49 @@
+//! # coolplace — post-placement temperature reduction techniques
+//!
+//! A full-stack Rust reproduction of *"Post-placement temperature reduction
+//! techniques"* (Liu, Nannarelli, Calimera, Macii, Poncino — DATE 2010).
+//!
+//! The paper's contribution — **empty row insertion (ERI)** and the
+//! **hotspot wrapper (HW)**, two smart whitespace-allocation schemes that
+//! cut peak die temperature at fixed area overhead — lives in the
+//! [`postplace`] crate. Everything it needs is rebuilt here as well:
+//!
+//! * [`stdcell`] — synthetic 65 nm-class standard-cell library (incl.
+//!   zero-power filler cells);
+//! * [`netlist`] — gate-level netlist database and validation;
+//! * [`arithgen`] — the nine arithmetic units composing the paper's
+//!   ~12 000-cell synthetic benchmark;
+//! * [`logicsim`] — cycle-based simulation and switching activity;
+//! * [`powerest`] — activity-based dynamic + leakage power, power maps;
+//! * [`placement`] — row-based floorplan, placer, legalizer, fillers;
+//! * [`spicenet`] — the SPICE-like linear DC solver;
+//! * [`thermalsim`] — the 40×40×9 RC thermal-grid model of the paper;
+//! * [`timan`] — static timing with temperature derating.
+//!
+//! The umbrella crate re-exports the whole stack so applications can depend
+//! on a single crate; see `examples/quickstart.rs` for the end-to-end flow.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use coolplace::postplace::{Flow, FlowConfig, Strategy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let flow = Flow::new(FlowConfig::scattered_small())?;
+//! let report = flow.run(Strategy::EmptyRowInsertion { rows: 20 })?;
+//! println!("peak temperature reduction: {:.1}%", report.reduction_pct());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use arithgen;
+pub use geom;
+pub use logicsim;
+pub use netlist;
+pub use placement;
+pub use postplace;
+pub use powerest;
+pub use spicenet;
+pub use stdcell;
+pub use thermalsim;
+pub use timan;

@@ -1,0 +1,151 @@
+//! Cross-crate integration: drives the full stack crate-by-crate (not
+//! through `Flow`) and checks the invariants that hold across module
+//! boundaries.
+
+use coolplace::arithgen::{build_benchmark, BenchmarkConfig, UnitRole};
+use coolplace::logicsim::{Simulator, Workload};
+use coolplace::placement::{total_hpwl, validate, Placer, PlacerConfig};
+use coolplace::powerest::{estimate_power, power_map, PowerConfig};
+use coolplace::thermalsim::{ThermalConfig, ThermalSimulator};
+use coolplace::timan::{analyze, TimingConfig};
+
+#[test]
+fn manual_pipeline_reproduces_flow_steps() {
+    // 1. "Synthesis": generate the benchmark netlist.
+    let netlist = build_benchmark(&BenchmarkConfig::small()).unwrap();
+    assert_eq!(netlist.unit_count(), 9);
+
+    // 2. "VCS": simulate a workload for switching activity.
+    let workload = Workload::with_active_units(&netlist, &[UnitRole::ArrayMult.unit_id()], 0.5);
+    let mut sim = Simulator::new(&netlist);
+    sim.run_workload(&workload, 8, 1);
+    sim.reset_activity();
+    sim.run_workload(&workload, 128, 2);
+    let activity = sim.activity();
+    assert!(activity.mean_activity() > 0.0);
+
+    // 3. "IC Compiler": floorplan + place + fill.
+    let placed = Placer::new(PlacerConfig::with_utilization(0.8))
+        .place(&netlist)
+        .unwrap();
+    assert!(validate(&netlist, &placed.floorplan, &placed.placement).is_empty());
+
+    // 4. "Power Compiler": per-cell power with wire loads.
+    let power = estimate_power(
+        &netlist,
+        &activity,
+        Some((&placed.floorplan, &placed.placement)),
+        None,
+        &PowerConfig::default(),
+    );
+    assert!(power.total_w() > 0.0);
+
+    // 5. Power map → "SPICE" thermal solve.
+    let pmap = power_map(
+        &netlist,
+        &placed.floorplan,
+        &placed.placement,
+        &power,
+        16,
+        16,
+    );
+    assert!((pmap.sum() - power.total_w()).abs() < power.total_w() * 1e-9);
+    let thermal = ThermalSimulator::new(ThermalConfig::with_resolution(16, 16));
+    let tmap = thermal.solve(placed.floorplan.core(), &pmap).unwrap();
+    assert!(tmap.peak_rise() > 0.0);
+
+    // 6. STA with thermal derating.
+    let cold = analyze(
+        &netlist,
+        &placed.floorplan,
+        &placed.placement,
+        None,
+        &TimingConfig::default(),
+    );
+    let hot = analyze(
+        &netlist,
+        &placed.floorplan,
+        &placed.placement,
+        Some(&tmap),
+        &TimingConfig::default(),
+    );
+    assert!(hot.critical_path_ps >= cold.critical_path_ps);
+
+    // 7. Wirelength is sane.
+    assert!(total_hpwl(&netlist, &placed.floorplan, &placed.placement) > 0.0);
+}
+
+#[test]
+fn power_map_peak_follows_the_workload() {
+    // Activate different units and check the power map peak moves into
+    // the right region each time.
+    let netlist = build_benchmark(&BenchmarkConfig::small()).unwrap();
+    let placed = Placer::new(PlacerConfig::default())
+        .place(&netlist)
+        .unwrap();
+    for role in [UnitRole::BoothMult, UnitRole::Divider, UnitRole::Alu] {
+        let workload = Workload::with_active_units(&netlist, &[role.unit_id()], 0.5);
+        let mut sim = Simulator::new(&netlist);
+        sim.run_workload(&workload, 8, 3);
+        sim.reset_activity();
+        sim.run_workload(&workload, 128, 4);
+        let power = estimate_power(
+            &netlist,
+            &sim.activity(),
+            Some((&placed.floorplan, &placed.placement)),
+            None,
+            &PowerConfig::default(),
+        );
+        let pmap = power_map(
+            &netlist,
+            &placed.floorplan,
+            &placed.placement,
+            &power,
+            20,
+            20,
+        );
+        let ((px, py), _) = pmap.max_bin().unwrap();
+        let peak_point = pmap.bin_rect(px, py).center();
+        let region = placed.regions[role.unit_id().index()];
+        assert!(
+            region
+                .expand(2.0 * placed.floorplan.row_height())
+                .contains(peak_point),
+            "{role}: power peak {peak_point} outside its region {region}"
+        );
+    }
+}
+
+#[test]
+fn thermal_scales_linearly_with_power() {
+    let netlist = build_benchmark(&BenchmarkConfig::small()).unwrap();
+    let placed = Placer::new(PlacerConfig::default())
+        .place(&netlist)
+        .unwrap();
+    let workload = Workload::uniform(&netlist, 0.4);
+    let mut sim = Simulator::new(&netlist);
+    sim.run_workload(&workload, 100, 5);
+    let power = estimate_power(
+        &netlist,
+        &sim.activity(),
+        Some((&placed.floorplan, &placed.placement)),
+        None,
+        &PowerConfig::default(),
+    );
+    let pmap = power_map(
+        &netlist,
+        &placed.floorplan,
+        &placed.placement,
+        &power,
+        12,
+        12,
+    );
+    let mut doubled = pmap.clone();
+    for v in doubled.values_mut() {
+        *v *= 2.0;
+    }
+    let thermal = ThermalSimulator::new(ThermalConfig::with_resolution(12, 12));
+    let t1 = thermal.solve(placed.floorplan.core(), &pmap).unwrap();
+    let t2 = thermal.solve(placed.floorplan.core(), &doubled).unwrap();
+    assert!((t2.peak_rise() - 2.0 * t1.peak_rise()).abs() < 1e-6 * t2.peak_rise().max(1.0));
+}

@@ -65,8 +65,8 @@ pub fn array_multiplier(b: &mut NetlistBuilder, name: &str, width: usize) -> Gen
             .collect()
     };
     let mut acc = row(&mut cx, b_reg[0]);
-    for i in 1..width {
-        let pp = row(&mut cx, b_reg[i]);
+    for (i, &bi) in b_reg.iter().enumerate().take(width).skip(1) {
+        let pp = row(&mut cx, bi);
         // Bits below weight i are already final; add the overlap.
         let hi = acc.split_off(i);
         let sum = cx.add_vec(&hi, &pp);
@@ -149,7 +149,7 @@ pub fn booth_multiplier(b: &mut NetlistBuilder, name: &str, width: usize) -> Gen
 
         // Partial product bits occupy columns 2d .. w-1 (inverted below 2d
         // cancels against the +neg correction, so those columns are empty).
-        for col in 2 * d..w {
+        for (col, column) in columns.iter_mut().enumerate().take(w).skip(2 * d) {
             let k = col - 2 * d;
             let x1 = if k < n { Some(a_reg[k]) } else { None };
             let x2 = if (1..=n).contains(&k) {
@@ -176,7 +176,7 @@ pub fn booth_multiplier(b: &mut NetlistBuilder, name: &str, width: usize) -> Gen
                 // value — the `neg` net itself, no gate needed.
                 (None, None) => neg,
             };
-            columns[col].push(bit);
+            column.push(bit);
         }
         // Two's complement correction: +neg at the digit's base column.
         columns[2 * d].push(neg);

@@ -281,10 +281,10 @@ mod tests {
     fn table1_area_overheads_reproduce() {
         // Base ~335 µm tall: 124 rows × 2.7 µm = 334.8 µm.
         let fp = Floorplan::new(&lib(), 335.0, 124);
-        let (eri20, _) = fp.with_rows_inserted(&vec![60; 20]);
+        let (eri20, _) = fp.with_rows_inserted(&[60; 20]);
         let overhead20 = eri20.core().area() / fp.core().area() - 1.0;
         assert!((overhead20 - 0.161).abs() < 0.005, "got {overhead20}");
-        let (eri40, _) = fp.with_rows_inserted(&vec![60; 40]);
+        let (eri40, _) = fp.with_rows_inserted(&[60; 40]);
         let overhead40 = eri40.core().area() / fp.core().area() - 1.0;
         assert!((overhead40 - 0.322).abs() < 0.005, "got {overhead40}");
     }

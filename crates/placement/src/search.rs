@@ -72,7 +72,7 @@ pub fn nearest_slot_outside(
                     let arect = Rect::new(ax, row_rect.lly, ax + width_um, row_rect.ury);
                     if !forbidden.iter().any(|f| f.intersects(&arect)) {
                         let d = arect.center().manhattan_to(origin);
-                        if best.map_or(true, |(bd, _, _)| d < bd) {
+                        if best.is_none_or(|(bd, _, _)| d < bd) {
                             best = Some((d, r as u32, alt));
                         }
                         placed = true;
@@ -84,7 +84,7 @@ pub fn nearest_slot_outside(
                 continue;
             }
             let d = rect.center().manhattan_to(origin);
-            if best.map_or(true, |(bd, _, _)| d < bd) {
+            if best.is_none_or(|(bd, _, _)| d < bd) {
                 best = Some((d, r as u32, site));
             }
         }

@@ -26,9 +26,9 @@ pub(crate) fn lu_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>
             if factor == 0.0 {
                 continue;
             }
-            for c in col..n {
-                let upper = a[col][c];
-                a[r][c] -= factor * upper;
+            let (upper_rows, lower_rows) = a.split_at_mut(r);
+            for (elim, upper) in lower_rows[0][col..].iter_mut().zip(&upper_rows[col][col..]) {
+                *elim -= factor * upper;
             }
             b[r] -= factor * b[col];
         }

@@ -90,9 +90,9 @@ fn solve_reduced(
     // Map unknown nodes to a dense reduced index space.
     let mut reduced: Vec<Option<usize>> = vec![None; n];
     let mut n_red = 0;
-    for i in 0..n {
+    for (i, slot) in reduced.iter_mut().enumerate() {
         if !fixed.contains_key(&i) {
-            reduced[i] = Some(n_red);
+            *slot = Some(n_red);
             n_red += 1;
         }
     }

@@ -98,12 +98,12 @@ impl CsrMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "dimension mismatch");
         let mut y = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -111,10 +111,10 @@ impl CsrMatrix {
     /// The main diagonal (zeros where unstored).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, dr) in d.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 if self.col_idx[k] == r {
-                    d[r] = self.values[k];
+                    *dr = self.values[k];
                 }
             }
         }

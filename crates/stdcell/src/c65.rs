@@ -9,6 +9,7 @@
 
 use crate::{CellDef, CellFunction, Drive};
 
+#[allow(clippy::too_many_arguments)] // positional datasheet columns
 fn combi(
     name: &str,
     f: CellFunction,

@@ -193,9 +193,8 @@ impl CellFunction {
             }
             CellFunction::FullAdder => {
                 outputs[0] = inputs[0] ^ inputs[1] ^ inputs[2];
-                outputs[1] = (inputs[0] && inputs[1])
-                    || (inputs[1] && inputs[2])
-                    || (inputs[0] && inputs[2]);
+                // Majority carry: a·b + cin·(a ⊕ b).
+                outputs[1] = (inputs[0] && inputs[1]) || (inputs[2] && (inputs[0] ^ inputs[1]));
             }
             CellFunction::Dff => outputs[0] = inputs[0],
             CellFunction::TieLo => outputs[0] = false,

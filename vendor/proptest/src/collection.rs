@@ -1,0 +1,24 @@
+//! Collection strategies: just [`vec`].
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_usize(self.size.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

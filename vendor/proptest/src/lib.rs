@@ -1,0 +1,316 @@
+//! Offline stub of `proptest` covering what this workspace's property
+//! tests use: the `proptest!` macro, `prop_assert*`, `any`, range and
+//! tuple strategies, `prop_map`, and `prop::collection::vec`.
+//!
+//! Semantics versus the real crate: sampling is deterministic per test
+//! (seeded from the test name), there is **no shrinking**, and a failing
+//! property panics on the first counterexample like a plain `assert!`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+pub mod collection;
+
+/// The `prop::` facade re-exported by [`prelude`], matching how the real
+/// crate exposes `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Per-test run configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic source of randomness handed to [`Strategy::sample`].
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds from the test's identity and case index so every run of the
+    /// suite explores the same inputs (no flaky CI, no shrinking needed
+    /// to reproduce — rerun the test and the panic recurs).
+    pub fn for_case(file: &str, test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain([0u8]).chain(test_name.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    pub fn gen_f64(&mut self, range: Range<f64>) -> f64 {
+        self.0.gen_range(range)
+    }
+
+    pub fn gen_usize(&mut self, range: Range<usize>) -> usize {
+        self.0.gen_range(range)
+    }
+
+    pub fn gen_bits(&mut self) -> u64 {
+        self.0.gen()
+    }
+}
+
+/// A recipe for producing values of `Self::Value` — the stub keeps the
+/// real crate's name and the `prop_map` combinator, but samples directly
+/// instead of building shrinkable value trees.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (((rng.gen_bits() as u128) << 64 | rng.gen_bits() as u128) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.gen_bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        // Keep the contract half-open under rounding at the end bound.
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down()
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.gen_bits() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+        let v = self.start + unit * (self.end - self.start);
+        // Keep the contract half-open under rounding at the end bound.
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down()
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Types with a canonical "any value" strategy, via [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_bits() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bits() & 1 == 1
+    }
+}
+
+/// Strategy over the full value domain of `T` (uniform bits; unlike the
+/// real crate there is no bias toward edge cases).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test-definition macro. Accepts the same surface syntax as the
+/// real crate for the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///     #[test]
+///     fn prop(x in 0usize..10, y in any::<u64>()) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(file!(), stringify!($name), case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(file!(), "ranges", 0);
+        for _ in 0..1000 {
+            let x = (3usize..17).sample(&mut rng);
+            assert!((3..17).contains(&x));
+            let f = (-2.0f64..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("f", "t", 3);
+        let mut b = TestRng::for_case("f", "t", 3);
+        let s = (0u64..1_000_000, -1.0f64..1.0);
+        assert_eq!(s.sample(&mut a).0, s.sample(&mut b).0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_all_args(
+            x in 0usize..10,
+            y in any::<u8>(),
+            v in prop::collection::vec(0.0f64..1.0, 1..5),
+        ) {
+            prop_assert!(x < 10);
+            let _ = y;
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)));
+        }
+    }
+}

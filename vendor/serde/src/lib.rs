@@ -1,0 +1,27 @@
+//! Offline stub of `serde`.
+//!
+//! Exposes the `Serialize` / `Deserialize` names in both the type and
+//! macro namespaces — exactly what `use serde::{Deserialize, Serialize}`
+//! followed by `#[derive(Serialize, Deserialize)]` needs — while the
+//! derives themselves (from the stub `serde_derive`) expand to nothing.
+//! Replace with the registry crate to get real serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -22,6 +22,11 @@ fn bench_thermal_solve(c: &mut Criterion) {
         group.bench_function(format!("{n}x{n}x9"), |b| {
             b.iter(|| sim.solve(die, &power).expect("solve"));
         });
+        // The amortized path: factorize once, re-solve per power map.
+        let model = sim.factorize(die).expect("factorize");
+        group.bench_function(format!("{n}x{n}x9_factorized_resolve"), |b| {
+            b.iter(|| model.solve(&power).expect("resolve"));
+        });
     }
     group.finish();
 }

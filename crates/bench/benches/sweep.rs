@@ -1,0 +1,304 @@
+//! **SWEEP** — the machine-readable bench pipeline behind
+//! `BENCH_sweep.json`.
+//!
+//! Runs a scenario grid twice — once sequentially through
+//! [`Flow::run_reference`] (the pre-engine, assemble-per-solve cost
+//! model) and once through the parallel sweep engine — checks the two
+//! agree on every peak temperature, and emits a stable-schema JSON
+//! document with per-scenario results, wall-clocks and the measured
+//! speedup. Because the speedup is a within-run ratio, it is comparable
+//! across machines, which is what lets CI gate on it.
+//!
+//! ```sh
+//! cargo bench -p coolplace-bench --bench sweep -- \
+//!     --smoke --threads 2 --out BENCH_sweep.json --check ci/bench-baseline.json
+//! ```
+//!
+//! Flags: `--smoke` (reduced grid for CI), `--threads N` (default: all
+//! cores), `--out PATH` (default `BENCH_sweep.json`), `--check PATH`
+//! (compare against a baseline document and exit non-zero on >20 %
+//! speedup regression or any result drift). Unknown flags are ignored so
+//! the binary survives whatever cargo-bench appends.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use arithgen::UnitRole;
+use coolplace_bench::gate::{check_against_baseline, MAX_SPEEDUP_REGRESSION, PEAK_TOLERANCE_C};
+use coolplace_bench::json::Json;
+use postplace::{
+    default_threads, run_sweep, Flow, FlowConfig, FlowError, FlowReport, Strategy, SweepGrid,
+    WorkloadSpec,
+};
+
+/// Bump when a field changes meaning; additions are backwards-compatible.
+const SCHEMA_VERSION: f64 = 1.0;
+
+/// In-run agreement required between the sequential reference and the
+/// engine, in kelvin — pure solver noise, no physics.
+const SOLVE_TOLERANCE_C: f64 = 1e-3;
+
+/// `cargo bench` launches the binary with the *package* directory as
+/// CWD; anchor relative paths at the workspace root so
+/// `--out BENCH_sweep.json` lands where CI expects it.
+fn from_workspace_root(path: &str) -> PathBuf {
+    let path = Path::new(path);
+    if path.is_absolute() {
+        return path.to_path_buf();
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the workspace root")
+        .join(path)
+}
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    repeats: Option<usize>,
+    out: PathBuf,
+    check: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        threads: default_threads(),
+        repeats: None,
+        out: from_workspace_root("BENCH_sweep.json"),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    args.threads = n;
+                }
+            }
+            "--repeats" => {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    args.repeats = Some(n);
+                }
+            }
+            "--out" => {
+                if let Some(path) = it.next() {
+                    args.out = from_workspace_root(&path);
+                }
+            }
+            "--check" => args.check = it.next().map(|p| from_workspace_root(&p)),
+            _ => {} // cargo-bench appends flags of its own; ignore them
+        }
+    }
+    args
+}
+
+fn scattered() -> WorkloadSpec {
+    WorkloadSpec {
+        active: vec![
+            UnitRole::RippleAdder,
+            UnitRole::Alu,
+            UnitRole::LookaheadAdder,
+            UnitRole::Mac,
+        ],
+        toggle_probability: 0.5,
+    }
+}
+
+fn concentrated() -> WorkloadSpec {
+    WorkloadSpec {
+        active: vec![UnitRole::BoothMult],
+        toggle_probability: 0.5,
+    }
+}
+
+/// The sweep grid: strategies × row counts × workloads × meshes.
+/// Smoke = 2×1×4 = 8 scenarios for CI; full = 2×2×8 = 32 scenarios
+/// (the acceptance configuration).
+fn build_grid(smoke: bool) -> SweepGrid {
+    let base = FlowConfig::scattered_small().fast();
+    let grid = SweepGrid::new(base)
+        .workload("scattered", scattered())
+        .workload("concentrated", concentrated());
+    if smoke {
+        grid.mesh(12, 12)
+            .strategy(Strategy::UniformSlack {
+                area_overhead: 0.16,
+            })
+            .strategy(Strategy::HotspotWrapper {
+                area_overhead: 0.16,
+            })
+            .row_counts([4, 8])
+    } else {
+        grid.mesh(20, 20)
+            .mesh(24, 24)
+            .strategy(Strategy::UniformSlack {
+                area_overhead: 0.08,
+            })
+            .strategy(Strategy::UniformSlack {
+                area_overhead: 0.16,
+            })
+            .strategy(Strategy::HotspotWrapper {
+                area_overhead: 0.16,
+            })
+            .row_counts([4, 6, 8, 10, 12])
+    }
+}
+
+/// The yardstick: every scenario through `Flow::run_reference`, one
+/// after another, one flow per (workload, mesh) group — exactly what the
+/// flow cost before the engine existed.
+fn run_sequential(grid: &SweepGrid) -> Result<(Vec<FlowReport>, f64), FlowError> {
+    let started = Instant::now();
+    let mut flows: HashMap<(String, (usize, usize)), Flow> = HashMap::new();
+    let mut reports = Vec::new();
+    for scenario in grid.scenarios() {
+        let key = (scenario.workload.clone(), scenario.mesh);
+        if !flows.contains_key(&key) {
+            flows.insert(key.clone(), Flow::new(grid.scenario_config(&scenario))?);
+        }
+        reports.push(flows[&key].run_reference(scenario.strategy)?);
+    }
+    Ok((reports, started.elapsed().as_secs_f64() * 1e3))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let grid = build_grid(args.smoke);
+    let mode = if args.smoke { "smoke" } else { "full" };
+    // Smoke halves finish in tens of milliseconds, where a single
+    // scheduler hiccup on a shared CI runner could sink the within-run
+    // ratio; best-of-3 keeps the gate trustworthy. The full grid runs
+    // long enough that one pass is representative.
+    let repeats = args
+        .repeats
+        .unwrap_or(if args.smoke { 3 } else { 1 })
+        .max(1);
+    println!(
+        "sweep bench [{mode}]: {} scenarios, {} threads, {repeats} repeat(s)",
+        grid.scenario_count(),
+        args.threads
+    );
+
+    let mut sequential_ms = f64::INFINITY;
+    let mut sweep_ms = f64::INFINITY;
+    let mut measured = None;
+    for round in 0..repeats {
+        let (sequential_reports, seq_ms) = match run_sequential(&grid) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sequential reference failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let sweep = match run_sweep(&grid, args.threads) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sweep engine failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "round {}: sequential {seq_ms:.0} ms, engine {:.0} ms across {} flows",
+            round + 1,
+            sweep.wall_ms,
+            sweep.flows_built
+        );
+        sequential_ms = sequential_ms.min(seq_ms);
+        sweep_ms = sweep_ms.min(sweep.wall_ms);
+        measured = Some((sequential_reports, sweep));
+    }
+    let (sequential_reports, sweep) = measured.expect("repeats >= 1");
+    let speedup = sequential_ms / sweep_ms;
+    println!(
+        "best of {repeats}: sequential {sequential_ms:.0} ms, \
+         engine {sweep_ms:.0} ms → {speedup:.2}× vs sequential"
+    );
+
+    // The engine must reproduce the sequential temperatures exactly (up
+    // to solver noise) — otherwise the speedup is meaningless.
+    let mut max_delta_c: f64 = 0.0;
+    for (reference, result) in sequential_reports.iter().zip(&sweep.results) {
+        let delta = (reference.after.peak_c - result.report.after.peak_c).abs();
+        max_delta_c = max_delta_c.max(delta);
+    }
+    println!("max |peak(sequential) − peak(engine)| = {max_delta_c:.2e} K");
+    if max_delta_c > SOLVE_TOLERANCE_C {
+        eprintln!("FAIL: engine diverged from the sequential reference");
+        return ExitCode::FAILURE;
+    }
+
+    let records: Vec<Json> = sweep
+        .results
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("index", Json::Num(r.scenario.index as f64)),
+                ("workload", Json::Str(r.scenario.workload.clone())),
+                (
+                    "mesh",
+                    Json::Arr(vec![
+                        Json::Num(r.scenario.mesh.0 as f64),
+                        Json::Num(r.scenario.mesh.1 as f64),
+                    ]),
+                ),
+                ("strategy", Json::Str(r.scenario.strategy.to_string())),
+                ("area_overhead_pct", Json::Num(r.report.area_overhead_pct)),
+                ("peak_before_c", Json::Num(r.report.before.peak_c)),
+                ("peak_after_c", Json::Num(r.report.after.peak_c)),
+                ("reduction_pct", Json::Num(r.report.reduction_pct())),
+                (
+                    "timing_overhead_pct",
+                    Json::Num(r.report.timing_overhead_pct()),
+                ),
+                ("wall_ms", Json::Num(r.wall_ms)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("schema_version", Json::Num(SCHEMA_VERSION)),
+        ("generator", Json::Str("coolplace-bench sweep".to_string())),
+        ("mode", Json::Str(mode.to_string())),
+        ("threads", Json::Num(sweep.threads as f64)),
+        ("repeats", Json::Num(repeats as f64)),
+        ("scenario_count", Json::Num(sweep.results.len() as f64)),
+        ("flows_built", Json::Num(sweep.flows_built as f64)),
+        ("sequential_wall_ms", Json::Num(sequential_ms)),
+        ("sweep_wall_ms", Json::Num(sweep_ms)),
+        ("speedup", Json::Num(speedup)),
+        ("max_peak_delta_c", Json::Num(max_delta_c)),
+        ("records", Json::Arr(records)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, doc.render()) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = match std::fs::read_to_string(baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures =
+            check_against_baseline(&doc, &baseline, PEAK_TOLERANCE_C, MAX_SPEEDUP_REGRESSION);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("baseline check passed ({})", baseline_path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,173 @@
+//! The CI regression gate for `BENCH_sweep.json`.
+//!
+//! A sweep run is compared against a checked-in baseline on two axes:
+//!
+//! * **Results** — every baseline record must have a matching record
+//!   (same workload, mesh and strategy) whose after-transform peak
+//!   temperature agrees within an absolute tolerance. Result drift means
+//!   the physics changed, which is never acceptable silently.
+//! * **Throughput** — the engine-vs-sequential speedup (measured within
+//!   one run, so machine speed cancels out) must not regress by more
+//!   than the configured fraction.
+//!
+//! Violations come back as human-readable strings; an empty list passes.
+
+use crate::json::Json;
+
+/// Absolute peak-temperature agreement required between a run and the
+/// baseline, in kelvin. Far above solver tolerance, far below any real
+/// physics change.
+pub const PEAK_TOLERANCE_C: f64 = 0.25;
+
+/// Maximum allowed fractional speedup regression vs the baseline (0.2 =
+/// fail when the measured speedup drops below 80 % of the baseline's).
+pub const MAX_SPEEDUP_REGRESSION: f64 = 0.2;
+
+fn record_key(record: &Json) -> Option<String> {
+    let workload = record.get("workload")?.as_str()?;
+    let strategy = record.get("strategy")?.as_str()?;
+    let mesh = record.get("mesh")?.as_arr()?;
+    let nx = mesh.first()?.as_f64()?;
+    let ny = mesh.get(1)?.as_f64()?;
+    Some(format!("{workload}/{nx}x{ny}/{strategy}"))
+}
+
+/// Compares a sweep document against a baseline document and returns
+/// every violation (empty = gate passes).
+pub fn check_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    peak_tolerance_c: f64,
+    max_speedup_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    let current_records = current.get("records").and_then(Json::as_arr);
+    let baseline_records = baseline.get("records").and_then(Json::as_arr);
+    match (current_records, baseline_records) {
+        (Some(cur), Some(base)) => {
+            for expected in base {
+                let Some(key) = record_key(expected) else {
+                    failures.push("baseline record without workload/mesh/strategy".to_string());
+                    continue;
+                };
+                let found = cur.iter().find(|r| record_key(r).as_deref() == Some(&key));
+                let Some(found) = found else {
+                    failures.push(format!("scenario `{key}` missing from this run"));
+                    continue;
+                };
+                let expected_peak = expected.get("peak_after_c").and_then(Json::as_f64);
+                let got_peak = found.get("peak_after_c").and_then(Json::as_f64);
+                match (expected_peak, got_peak) {
+                    (Some(want), Some(got)) if (want - got).abs() > peak_tolerance_c => {
+                        failures.push(format!(
+                            "scenario `{key}`: peak {got:.3} °C drifted from baseline \
+                             {want:.3} °C (tolerance {peak_tolerance_c} K)"
+                        ));
+                    }
+                    (Some(_), Some(_)) => {}
+                    _ => failures.push(format!("scenario `{key}`: missing peak_after_c")),
+                }
+            }
+        }
+        _ => failures.push("missing `records` array".to_string()),
+    }
+
+    // The speedup is only comparable between runs with the same worker
+    // count — raw thread parallelism could otherwise mask a regression
+    // of the reuse machinery (or an over-threaded baseline could fail
+    // every CI run).
+    let current_threads = current.get("threads").and_then(Json::as_f64);
+    let baseline_threads = baseline.get("threads").and_then(Json::as_f64);
+    if let (Some(got), Some(want)) = (current_threads, baseline_threads) {
+        if got != want {
+            failures.push(format!(
+                "thread count {got} differs from the baseline's {want}; \
+                 speedups are not comparable — regenerate the baseline"
+            ));
+        }
+    }
+
+    let current_speedup = current.get("speedup").and_then(Json::as_f64);
+    let baseline_speedup = baseline.get("speedup").and_then(Json::as_f64);
+    match (current_speedup, baseline_speedup) {
+        (Some(got), Some(want)) => {
+            let floor = want * (1.0 - max_speedup_regression);
+            if got < floor {
+                failures.push(format!(
+                    "speedup {got:.2}× regressed more than \
+                     {pct:.0}% vs baseline {want:.2}× (floor {floor:.2}×)",
+                    pct = max_speedup_regression * 100.0
+                ));
+            }
+        }
+        _ => failures.push("missing `speedup` value".to_string()),
+    }
+
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(speedup: f64, peak: f64) -> Json {
+        Json::obj([
+            ("threads", Json::Num(2.0)),
+            ("speedup", Json::Num(speedup)),
+            (
+                "records",
+                Json::Arr(vec![Json::obj([
+                    ("workload", Json::Str("scattered".to_string())),
+                    ("mesh", Json::Arr(vec![Json::Num(12.0), Json::Num(12.0)])),
+                    ("strategy", Json::Str("eri(4 rows)".to_string())),
+                    ("peak_after_c", Json::Num(peak)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let failures = doc(3.0, 81.5);
+        assert!(check_against_baseline(&failures, &failures, 0.25, 0.2).is_empty());
+    }
+
+    #[test]
+    fn peak_drift_fails() {
+        let failures = check_against_baseline(&doc(3.0, 82.5), &doc(3.0, 81.5), 0.25, 0.2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("drifted"), "{failures:?}");
+    }
+
+    #[test]
+    fn speedup_regression_fails_only_past_the_threshold() {
+        // 2.5 vs 3.0 is a 17 % regression — allowed at 20 %.
+        assert!(check_against_baseline(&doc(2.5, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
+        let failures = check_against_baseline(&doc(2.3, 81.5), &doc(3.0, 81.5), 0.25, 0.2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+    }
+
+    #[test]
+    fn thread_count_mismatch_fails() {
+        let mut four_threads = doc(5.0, 81.5);
+        let Json::Obj(pairs) = &mut four_threads else {
+            unreachable!()
+        };
+        pairs[0].1 = Json::Num(4.0);
+        let failures = check_against_baseline(&four_threads, &doc(3.0, 81.5), 0.25, 0.2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("thread count"), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_scenarios_fail() {
+        let empty = Json::obj([
+            ("speedup", Json::Num(3.0)),
+            ("records", Json::Arr(Vec::new())),
+        ]);
+        let failures = check_against_baseline(&empty, &doc(3.0, 81.5), 0.25, 0.2);
+        assert!(failures.iter().any(|f| f.contains("missing from this run")));
+    }
+}

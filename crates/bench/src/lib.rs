@@ -3,6 +3,9 @@
 //! binaries with `harness = false`, so `cargo bench` reproduces the whole
 //! evaluation; `perf` is a conventional Criterion suite.
 
+pub mod gate;
+pub mod json;
+
 use postplace::{Flow, FlowReport, Strategy};
 
 /// Paper reference values for Fig. 6 (test set 1, scattered hotspots),

@@ -2,13 +2,16 @@
 //! (benchmark generation) → logic simulation → power estimation →
 //! placement → thermal simulation → **area management** → re-analysis.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use arithgen::{build_benchmark, BenchmarkConfig, UnitRole};
-use geom::Grid2d;
+use geom::{Grid2d, Rect};
 use logicsim::{Activity, Simulator, Workload};
 use netlist::Netlist;
 use placement::{total_hpwl, Floorplan, Placement, PlacementResult, Placer, PlacerConfig};
 use powerest::{estimate_power, power_map, PowerConfig, PowerReport};
-use thermalsim::{ThermalConfig, ThermalMap, ThermalSimulator};
+use thermalsim::{FactorizedThermalModel, ThermalConfig, ThermalMap, ThermalSimulator};
 use timan::{analyze, TimingConfig, TimingReport};
 
 use crate::{
@@ -187,8 +190,111 @@ impl FlowReport {
     }
 }
 
+/// Cache key: mesh resolution, a fingerprint of everything else the
+/// factorization depends on (layer stack, boundary conditions, solver
+/// tolerance), and the bit-exact die outline — so flows with different
+/// thermal configurations can safely share one cache.
+type ModelKey = (usize, usize, u64, u64, u64, u64, u64);
+
+fn model_key(config: &ThermalConfig, die: Rect) -> ModelKey {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    config.tolerance.to_bits().hash(&mut h);
+    let stack = &config.stack;
+    stack.h_bottom_w_m2k.to_bits().hash(&mut h);
+    stack.h_top_w_m2k.to_bits().hash(&mut h);
+    stack.package_resistance_k_w.to_bits().hash(&mut h);
+    stack.ambient_c.to_bits().hash(&mut h);
+    stack.active_layer().hash(&mut h);
+    for layer in stack.layers() {
+        layer.thickness_um.to_bits().hash(&mut h);
+        layer.conductivity_w_mk.to_bits().hash(&mut h);
+    }
+    (
+        config.grid.nx,
+        config.grid.ny,
+        h.finish(),
+        die.llx.to_bits(),
+        die.lly.to_bits(),
+        die.urx.to_bits(),
+        die.ury.to_bits(),
+    )
+}
+
+/// Factorized models held per cache; a sweep touches a handful of die
+/// geometries per mesh, so a small bound is plenty and keeps memory flat.
+const MODEL_CACHE_CAP: usize = 64;
+
+/// A shareable cache of factorized thermal models, keyed by mesh and die
+/// outline. Every [`Flow`] owns one; [`crate::run_sweep`] points all of a
+/// sweep's flows at a single cache so identical geometries (the base
+/// placement is workload-independent) are factorized once.
+#[derive(Debug, Clone, Default)]
+pub struct ThermalModelCache {
+    models: Arc<Mutex<HashMap<ModelKey, Arc<FactorizedThermalModel>>>>,
+}
+
+impl ThermalModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ThermalModelCache::default()
+    }
+
+    /// Cached models currently held.
+    pub fn len(&self) -> usize {
+        self.models.lock().expect("model cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get_or_build(
+        &self,
+        config: &ThermalConfig,
+        die: Rect,
+    ) -> Result<Arc<FactorizedThermalModel>, FlowError> {
+        let key = model_key(config, die);
+        if let Some(model) = self.models.lock().expect("model cache poisoned").get(&key) {
+            return Ok(Arc::clone(model));
+        }
+        // Build outside the lock so distinct geometries factorize
+        // concurrently; a rare double build of the same key just means
+        // the loser's model is dropped in favour of the cached one.
+        let model = Arc::new(FactorizedThermalModel::build(config, die)?);
+        let mut models = self.models.lock().expect("model cache poisoned");
+        if let Some(existing) = models.get(&key) {
+            return Ok(Arc::clone(existing));
+        }
+        if models.len() >= MODEL_CACHE_CAP {
+            models.clear();
+        }
+        models.insert(key, Arc::clone(&model));
+        Ok(model)
+    }
+}
+
+/// The base placement's analysis — identical for every `Flow::run`, so
+/// computed once and shared (including across sweep worker threads).
+#[derive(Debug, Clone)]
+struct BaselineAnalysis {
+    power: PowerReport,
+    tmap: ThermalMap,
+    hotspots: Vec<Hotspot>,
+    timing: TimingReport,
+    hpwl_um: f64,
+}
+
 /// The flow driver: builds the benchmark and its activity once, then
 /// evaluates any number of strategies against the same baseline.
+///
+/// Thermal work is amortized two ways: the conductance network for each
+/// die geometry is factorized once (see [`FactorizedThermalModel`]) and
+/// re-solved per power map, and the base placement's analysis is
+/// memoized across runs. Both caches are behind locks, so a `&Flow` can
+/// be shared by sweep worker threads. [`Flow::run_reference`] keeps the
+/// original assemble-per-solve path as the benchmarking yardstick.
 ///
 /// See the [crate docs](crate) for an example.
 #[derive(Debug)]
@@ -201,6 +307,8 @@ pub struct Flow {
     /// across transformations — the paper's premise: the techniques reduce
     /// power *density* "while keeping (cell) power consumption unchanged".
     power: PowerReport,
+    models: ThermalModelCache,
+    baseline: OnceLock<BaselineAnalysis>,
 }
 
 impl Flow {
@@ -236,6 +344,8 @@ impl Flow {
             activity,
             base,
             power,
+            models: ThermalModelCache::new(),
+            baseline: OnceLock::new(),
         })
     }
 
@@ -264,8 +374,47 @@ impl Flow {
         &self.base
     }
 
+    /// The factorized thermal model for a die outline, built on first use
+    /// and cached for every later placement sharing that geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn thermal_model(&self, die: Rect) -> Result<Arc<FactorizedThermalModel>, FlowError> {
+        self.models.get_or_build(&self.config.thermal, die)
+    }
+
+    /// The flow's model cache handle (cheap to clone — the flows cloned
+    /// to share one).
+    pub fn thermal_cache(&self) -> ThermalModelCache {
+        self.models.clone()
+    }
+
+    /// Points this flow at `cache`, so identical geometries factorized by
+    /// other flows (e.g. the other workloads of a sweep) are reused.
+    pub fn set_thermal_cache(&mut self, cache: ThermalModelCache) {
+        self.models = cache;
+    }
+
+    /// Solves one thermal field — against the cached factorization, or
+    /// assembling from scratch on the reference path.
+    fn solve_thermal(
+        &self,
+        die: Rect,
+        pmap: &Grid2d<f64>,
+        cached: bool,
+    ) -> Result<ThermalMap, FlowError> {
+        if cached {
+            Ok(self.thermal_model(die)?.solve(pmap)?)
+        } else {
+            let simulator = ThermalSimulator::new(self.config.thermal.clone());
+            Ok(simulator.solve(die, pmap)?)
+        }
+    }
+
     /// Power, power map and thermal map for a given placement, including
-    /// the optional leakage–temperature feedback loop.
+    /// the optional leakage–temperature feedback loop. Thermal solves go
+    /// through the per-geometry factorized-model cache.
     ///
     /// # Errors
     ///
@@ -275,19 +424,64 @@ impl Flow {
         floorplan: &Floorplan,
         placement: &Placement,
     ) -> Result<(PowerReport, Grid2d<f64>, ThermalMap), FlowError> {
+        self.analyze_placement_with(floorplan, placement, true)
+    }
+
+    fn analyze_placement_with(
+        &self,
+        floorplan: &Floorplan,
+        placement: &Placement,
+        cached: bool,
+    ) -> Result<(PowerReport, Grid2d<f64>, ThermalMap), FlowError> {
         let nx = self.config.thermal.grid.nx;
         let ny = self.config.thermal.grid.ny;
-        let simulator = ThermalSimulator::new(self.config.thermal.clone());
         let mut report = self.power.clone();
         let mut pmap = power_map(&self.netlist, floorplan, placement, &report, nx, ny);
-        let mut tmap = simulator.solve(floorplan.core(), &pmap)?;
+        let mut tmap = self.solve_thermal(floorplan.core(), &pmap, cached)?;
         for _ in 0..self.config.leakage_feedback_iters {
             let temps = self.cell_temps(floorplan, placement, &tmap);
             report = report.with_leakage_at(&self.netlist, &self.config.power, &temps);
             pmap = power_map(&self.netlist, floorplan, placement, &report, nx, ny);
-            tmap = simulator.solve(floorplan.core(), &pmap)?;
+            tmap = self.solve_thermal(floorplan.core(), &pmap, cached)?;
         }
         Ok((report, pmap, tmap))
+    }
+
+    /// Computes and memoizes the baseline analysis now instead of on the
+    /// first [`Flow::run`]. The sweep engine primes each flow while the
+    /// build phase is still parallel, so run-phase workers never race to
+    /// initialize the same baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solve failures.
+    pub fn prime_baseline(&self) -> Result<(), FlowError> {
+        self.baseline().map(|_| ())
+    }
+
+    /// The memoized analysis of the base placement.
+    fn baseline(&self) -> Result<&BaselineAnalysis, FlowError> {
+        if let Some(b) = self.baseline.get() {
+            return Ok(b);
+        }
+        let b = self.compute_baseline(true)?;
+        Ok(self.baseline.get_or_init(|| b))
+    }
+
+    fn compute_baseline(&self, cached: bool) -> Result<BaselineAnalysis, FlowError> {
+        let fp = &self.base.floorplan;
+        let pl = &self.base.placement;
+        let (power, _, tmap) = self.analyze_placement_with(fp, pl, cached)?;
+        let hotspots = detect_hotspots(&tmap, &self.config.hotspot);
+        let timing = analyze(&self.netlist, fp, pl, Some(&tmap), &self.config.timing);
+        let hpwl_um = total_hpwl(&self.netlist, fp, pl);
+        Ok(BaselineAnalysis {
+            power,
+            tmap,
+            hotspots,
+            timing,
+            hpwl_um,
+        })
     }
 
     /// Per-cell temperatures sampled from a thermal map.
@@ -321,22 +515,46 @@ impl Flow {
 
     /// Runs one strategy and reports before/after metrics.
     ///
+    /// The baseline analysis is memoized and every thermal solve reuses
+    /// the factorized model of its die geometry, so repeated runs (row
+    /// bisection, budget search, sweeps) only pay for what changed.
+    ///
     /// # Errors
     ///
     /// Propagates placement, thermal and strategy-parameter errors.
     pub fn run(&self, strategy: Strategy) -> Result<FlowReport, FlowError> {
+        self.run_with(strategy, true)
+    }
+
+    /// Evaluates exactly like [`Flow::run`] but bypasses the factorized
+    /// model cache and the baseline memoization — every solve assembles
+    /// its network from scratch, as the flow did before the sweep engine
+    /// existed. Kept as the sequential yardstick the bench pipeline (and
+    /// the regression gate in CI) measures the engine against; results
+    /// match [`Flow::run`] to within solver tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement, thermal and strategy-parameter errors.
+    pub fn run_reference(&self, strategy: Strategy) -> Result<FlowReport, FlowError> {
+        self.run_with(strategy, false)
+    }
+
+    fn run_with(&self, strategy: Strategy, cached: bool) -> Result<FlowReport, FlowError> {
         let base_fp = &self.base.floorplan;
         let base_pl = &self.base.placement;
-        let (power_before, _, tmap_before) = self.analyze_placement(base_fp, base_pl)?;
-        let hotspots = detect_hotspots(&tmap_before, &self.config.hotspot);
-        let timing_before = analyze(
-            &self.netlist,
-            base_fp,
-            base_pl,
-            Some(&tmap_before),
-            &self.config.timing,
-        );
-        let hpwl_before = total_hpwl(&self.netlist, base_fp, base_pl);
+        let reference_baseline;
+        let baseline = if cached {
+            self.baseline()?
+        } else {
+            reference_baseline = self.compute_baseline(false)?;
+            &reference_baseline
+        };
+        let power_before = &baseline.power;
+        let tmap_before = &baseline.tmap;
+        let hotspots = baseline.hotspots.clone();
+        let timing_before = baseline.timing.clone();
+        let hpwl_before = baseline.hpwl_um;
 
         // Apply the strategy.
         let (new_fp, new_pl) = match strategy {
@@ -354,7 +572,7 @@ impl Flow {
                     &self.netlist,
                     base_fp,
                     base_pl,
-                    &tmap_before,
+                    tmap_before,
                     &hotspots,
                     rows,
                 )?;
@@ -369,7 +587,7 @@ impl Flow {
                     area_overhead,
                 )?;
                 let (_, _, tmap_relaxed) =
-                    self.analyze_placement(&relaxed.floorplan, &relaxed.placement)?;
+                    self.analyze_placement_with(&relaxed.floorplan, &relaxed.placement, cached)?;
                 let blobs = detect_hotspots(
                     &tmap_relaxed,
                     &HotspotConfig {
@@ -394,14 +612,14 @@ impl Flow {
                     &relaxed.floorplan,
                     &mut placement,
                     &regions,
-                    &power_before,
+                    power_before,
                     &self.config.wrapper,
                 )?;
                 (relaxed.floorplan, placement)
             }
         };
 
-        let (_, _, tmap_after) = self.analyze_placement(&new_fp, &new_pl)?;
+        let (_, _, tmap_after) = self.analyze_placement_with(&new_fp, &new_pl, cached)?;
         let timing_after = analyze(
             &self.netlist,
             &new_fp,
@@ -417,7 +635,7 @@ impl Flow {
             base_area_um2: base_area,
             new_area_um2: new_area,
             area_overhead_pct: (new_area / base_area - 1.0) * 100.0,
-            before: ThermalSummary::of(&tmap_before),
+            before: ThermalSummary::of(tmap_before),
             after: ThermalSummary::of(&tmap_after),
             hotspots,
             timing_before,

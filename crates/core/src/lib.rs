@@ -44,17 +44,19 @@ mod flow;
 mod hotspot;
 mod optimize;
 mod strategy;
+mod sweep;
 mod uniform;
 mod wrapper;
 
 pub use eri::{empty_row_insertion, EriReport};
 pub use error::FlowError;
-pub use flow::{Flow, FlowConfig, FlowReport, ThermalSummary, WorkloadSpec};
+pub use flow::{Flow, FlowConfig, FlowReport, ThermalModelCache, ThermalSummary, WorkloadSpec};
 pub use hotspot::{
     classify_hotspots, detect_hotspots, split_hotspots_by_regions, Hotspot, HotspotClass,
     HotspotConfig,
 };
 pub use optimize::{best_strategy_within_budget, minimize_rows_for_target, RowOptimum};
 pub use strategy::Strategy;
+pub use sweep::{default_threads, run_sweep, Scenario, ScenarioResult, SweepGrid, SweepReport};
 pub use uniform::uniform_slack;
 pub use wrapper::{hotspot_wrapper, wrap_regions, WrapperConfig, WrapperReport};

@@ -36,12 +36,24 @@ pub fn minimize_rows_for_target(
     target_reduction_pct: f64,
     max_rows: usize,
 ) -> Result<RowOptimum, FlowError> {
-    let mut evaluations = 0;
-    let mut eval = |rows: usize| -> Result<FlowReport, FlowError> {
-        evaluations += 1;
-        flow.run(Strategy::EmptyRowInsertion { rows })
+    // Every `Flow::run` goes through this evaluator so the tally is
+    // auditable on all exit paths; `evaluation_count_is_exact` pins the
+    // exact counts.
+    struct Evaluator<'a> {
+        flow: &'a Flow,
+        evaluations: usize,
+    }
+    impl Evaluator<'_> {
+        fn run(&mut self, rows: usize) -> Result<FlowReport, FlowError> {
+            self.evaluations += 1;
+            self.flow.run(Strategy::EmptyRowInsertion { rows })
+        }
+    }
+    let mut eval = Evaluator {
+        flow,
+        evaluations: 0,
     };
-    let top = eval(max_rows)?;
+    let top = eval.run(max_rows)?;
     if top.reduction_pct() < target_reduction_pct {
         return Err(FlowError::BadStrategy {
             detail: format!(
@@ -55,7 +67,7 @@ pub fn minimize_rows_for_target(
     let mut best = top;
     while lo < hi {
         let mid = (lo + hi) / 2;
-        let report = eval(mid)?;
+        let report = eval.run(mid)?;
         if report.reduction_pct() >= target_reduction_pct {
             hi = mid;
             best = report;
@@ -66,7 +78,7 @@ pub fn minimize_rows_for_target(
     Ok(RowOptimum {
         rows: hi,
         report: best,
-        evaluations,
+        evaluations: eval.evaluations,
     })
 }
 
@@ -132,6 +144,26 @@ mod tests {
                 .unwrap();
             assert!(less.reduction_pct() < target + 0.1);
         }
+    }
+
+    #[test]
+    fn evaluation_count_is_exact() {
+        // Bisection over [1, 8] always takes log2(8) = 3 steps on top of
+        // the max_rows probe, whatever the target, so the tally must be
+        // exactly 4 — no undercounting on early target hits.
+        let flow = Flow::new(FlowConfig::scattered_small().fast()).unwrap();
+        let always_met = minimize_rows_for_target(&flow, -100.0, 8).unwrap();
+        assert_eq!(always_met.rows, 1, "every candidate meets the target");
+        assert_eq!(always_met.evaluations, 4, "probe + 3 bisection steps");
+
+        let top = flow.run(Strategy::EmptyRowInsertion { rows: 8 }).unwrap();
+        let midway = minimize_rows_for_target(&flow, top.reduction_pct() / 2.0, 8).unwrap();
+        assert_eq!(midway.evaluations, 4, "probe + 3 bisection steps");
+
+        // Degenerate search space: the probe is the only evaluation.
+        let single = minimize_rows_for_target(&flow, -100.0, 1).unwrap();
+        assert_eq!(single.rows, 1);
+        assert_eq!(single.evaluations, 1);
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Batched scenario sweeps: fan a grid of (workload × mesh × strategy)
+//! evaluations across worker threads, reusing every cache the flow
+//! offers.
+//!
+//! A [`SweepGrid`] names the axes; [`run_sweep`] expands them into
+//! [`Scenario`]s, builds one [`Flow`] per (workload, mesh) group — the
+//! expensive netlist/simulation/placement prefix — and then evaluates all
+//! scenarios of a group against that shared flow, so the memoized
+//! baseline and the per-geometry factorized thermal models are amortized
+//! across the whole grid. Both phases run under [`std::thread::scope`]
+//! with a simple atomic work queue; results come back in deterministic
+//! scenario order regardless of thread count.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use postplace::{run_sweep, FlowConfig, Strategy, SweepGrid};
+//!
+//! # fn main() -> Result<(), postplace::FlowError> {
+//! let grid = SweepGrid::new(FlowConfig::scattered_small().fast())
+//!     .mesh(16, 16)
+//!     .strategy(Strategy::UniformSlack { area_overhead: 0.16 })
+//!     .row_counts([4, 8, 12]);
+//! let report = run_sweep(&grid, 4)?;
+//! for r in &report.results {
+//!     println!("{}: {:.2}% in {:.1} ms", r.scenario.strategy, r.report.reduction_pct(), r.wall_ms);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use thermalsim::GridSpec;
+
+use crate::{Flow, FlowConfig, FlowError, FlowReport, Strategy, WorkloadSpec};
+
+/// One cell of the sweep grid: which workload, mesh resolution and
+/// strategy to evaluate.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in the expanded grid (stable across thread counts).
+    pub index: usize,
+    /// Label of the workload axis entry.
+    pub workload: String,
+    /// Lateral mesh resolution `(nx, ny)`.
+    pub mesh: (usize, usize),
+    /// The transformation under evaluation.
+    pub strategy: Strategy,
+}
+
+/// The axes of a scenario sweep. Scenarios are the cartesian product
+/// `workloads × meshes × strategies`, expanded in that nesting order; an
+/// empty workload or mesh axis falls back to the base config's own value
+/// at expansion time.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Template configuration; each scenario overrides the workload and
+    /// the lateral mesh resolution, keeping every other knob.
+    pub base: FlowConfig,
+    /// Labelled workloads (empty = sweep the base config's workload,
+    /// labelled `"base"`).
+    pub workloads: Vec<(String, WorkloadSpec)>,
+    /// Lateral mesh resolutions (empty = the base config's mesh).
+    pub meshes: Vec<(usize, usize)>,
+    /// Strategies (including row-count variants) to evaluate per
+    /// workload × mesh combination.
+    pub strategies: Vec<Strategy>,
+}
+
+impl SweepGrid {
+    /// A grid over `base` with empty axes; add strategies (required) and
+    /// optionally workloads and meshes.
+    pub fn new(base: FlowConfig) -> Self {
+        SweepGrid {
+            base,
+            workloads: Vec::new(),
+            meshes: Vec::new(),
+            strategies: Vec::new(),
+        }
+    }
+
+    /// Adds a labelled workload to the workload axis.
+    pub fn workload(mut self, label: impl Into<String>, spec: WorkloadSpec) -> Self {
+        self.workloads.push((label.into(), spec));
+        self
+    }
+
+    /// Adds a mesh resolution to the mesh axis.
+    pub fn mesh(mut self, nx: usize, ny: usize) -> Self {
+        self.meshes.push((nx, ny));
+        self
+    }
+
+    /// Adds one strategy to the strategy axis.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategies.push(strategy);
+        self
+    }
+
+    /// Adds one [`Strategy::EmptyRowInsertion`] entry per row count.
+    pub fn row_counts(mut self, rows: impl IntoIterator<Item = usize>) -> Self {
+        self.strategies.extend(
+            rows.into_iter()
+                .map(|rows| Strategy::EmptyRowInsertion { rows }),
+        );
+        self
+    }
+
+    fn effective_workloads(&self) -> Vec<(String, WorkloadSpec)> {
+        if self.workloads.is_empty() {
+            vec![("base".to_string(), self.base.workload.clone())]
+        } else {
+            self.workloads.clone()
+        }
+    }
+
+    fn effective_meshes(&self) -> Vec<(usize, usize)> {
+        if self.meshes.is_empty() {
+            vec![(self.base.thermal.grid.nx, self.base.thermal.grid.ny)]
+        } else {
+            self.meshes.clone()
+        }
+    }
+
+    /// The full flow configuration a scenario resolves to: the base
+    /// config with the scenario's workload and mesh applied. This is the
+    /// single source of truth both for [`run_sweep`] and for anything
+    /// replaying scenarios outside the engine (e.g. the sequential
+    /// yardstick of the bench pipeline).
+    pub fn scenario_config(&self, scenario: &Scenario) -> FlowConfig {
+        let spec = self
+            .effective_workloads()
+            .iter()
+            .find(|(label, _)| *label == scenario.workload)
+            .map(|(_, spec)| spec.clone())
+            .unwrap_or_else(|| self.base.workload.clone());
+        group_config(&self.base, &spec, scenario.mesh)
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn scenario_count(&self) -> usize {
+        self.effective_workloads().len() * self.effective_meshes().len() * self.strategies.len()
+    }
+
+    /// Expands the axes into the full scenario list.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.scenario_count());
+        for (label, _) in &self.effective_workloads() {
+            for &mesh in &self.effective_meshes() {
+                for &strategy in &self.strategies {
+                    out.push(Scenario {
+                        index: out.len(),
+                        workload: label.clone(),
+                        mesh,
+                        strategy,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One evaluated scenario: the flow report plus its wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that was evaluated.
+    pub scenario: Scenario,
+    /// The before/after report from [`Flow::run`].
+    pub report: FlowReport,
+    /// Wall-clock time of this evaluation, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The outcome of a [`run_sweep`] call.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-scenario results, in scenario (grid) order.
+    pub results: Vec<ScenarioResult>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Distinct (workload, mesh) flows that were built.
+    pub flows_built: usize,
+    /// End-to-end wall-clock of the sweep (flow builds included), ms.
+    pub wall_ms: f64,
+}
+
+/// The machine's available parallelism (1 if it cannot be queried).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn group_config(base: &FlowConfig, workload: &WorkloadSpec, mesh: (usize, usize)) -> FlowConfig {
+    let mut config = base.clone();
+    config.workload = workload.clone();
+    config.thermal.grid = GridSpec {
+        nx: mesh.0,
+        ny: mesh.1,
+    };
+    config
+}
+
+/// Runs every scenario of `grid` across `threads` workers and returns
+/// the results in grid order.
+///
+/// Flows (one per workload × mesh group) are built first, in parallel;
+/// scenario evaluations then share them, so the factorized thermal
+/// models and the memoized baselines are reused across the whole grid.
+/// With `threads == 1` the sweep still benefits from that reuse — thread
+/// fan-out stacks on top on multi-core machines.
+///
+/// # Errors
+///
+/// Returns the first flow-construction or evaluation error; remaining
+/// workers stop at the next queue pull.
+pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowError> {
+    let started = Instant::now();
+    let scenarios = grid.scenarios();
+    if scenarios.is_empty() {
+        return Ok(SweepReport {
+            results: Vec::new(),
+            threads: 0,
+            flows_built: 0,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+
+    // Group scenarios by (workload, mesh): one Flow per group.
+    let mut group_of = Vec::with_capacity(scenarios.len());
+    let mut groups: Vec<(String, WorkloadSpec, (usize, usize))> = Vec::new();
+    for scenario in &scenarios {
+        let key = groups
+            .iter()
+            .position(|(label, _, mesh)| *label == scenario.workload && *mesh == scenario.mesh);
+        let gi = match key {
+            Some(gi) => gi,
+            None => {
+                let spec = grid
+                    .effective_workloads()
+                    .iter()
+                    .find(|(label, _)| *label == scenario.workload)
+                    .expect("scenario workload comes from the grid")
+                    .1
+                    .clone();
+                groups.push((scenario.workload.clone(), spec, scenario.mesh));
+                groups.len() - 1
+            }
+        };
+        group_of.push(gi);
+    }
+
+    let threads = threads.max(1).min(scenarios.len());
+    let error: Mutex<Option<FlowError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let fail = |e: FlowError| {
+        abort.store(true, Ordering::SeqCst);
+        let mut slot = error.lock().expect("error slot poisoned");
+        slot.get_or_insert(e);
+    };
+
+    // Phase 1: build one flow per group, in parallel. Every flow is
+    // pointed at one shared model cache — the base placement does not
+    // depend on the workload, so groups sharing a mesh produce identical
+    // die geometries and must factorize each of them only once — and its
+    // baseline is primed here, while the work is still spread across
+    // groups, so phase-2 workers never race to initialize it.
+    let shared_cache = crate::ThermalModelCache::new();
+    let flow_slots: Vec<Mutex<Option<Flow>>> = groups.iter().map(|_| Mutex::new(None)).collect();
+    let next_group = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(groups.len()) {
+            s.spawn(|| loop {
+                let gi = next_group.fetch_add(1, Ordering::SeqCst);
+                if gi >= groups.len() || abort.load(Ordering::SeqCst) {
+                    break;
+                }
+                let (_, spec, mesh) = &groups[gi];
+                let built =
+                    Flow::new(group_config(&grid.base, spec, *mesh)).and_then(|mut flow| {
+                        flow.set_thermal_cache(shared_cache.clone());
+                        flow.prime_baseline()?;
+                        Ok(flow)
+                    });
+                match built {
+                    Ok(flow) => {
+                        *flow_slots[gi].lock().expect("flow slot poisoned") = Some(flow);
+                    }
+                    Err(e) => fail(e),
+                }
+            });
+        }
+    });
+    if let Some(e) = error.lock().expect("error slot poisoned").take() {
+        return Err(e);
+    }
+    let flows: Vec<Flow> = flow_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("flow slot poisoned")
+                .expect("all groups built or an error returned")
+        })
+        .collect();
+
+    // Phase 2: evaluate scenarios against the shared flows.
+    let results: Mutex<Vec<Option<ScenarioResult>>> =
+        Mutex::new((0..scenarios.len()).map(|_| None).collect());
+    let next_scenario = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next_scenario.fetch_add(1, Ordering::SeqCst);
+                if i >= scenarios.len() || abort.load(Ordering::SeqCst) {
+                    break;
+                }
+                let scenario = &scenarios[i];
+                let flow = &flows[group_of[i]];
+                let eval_started = Instant::now();
+                match flow.run(scenario.strategy) {
+                    Ok(report) => {
+                        let result = ScenarioResult {
+                            scenario: scenario.clone(),
+                            report,
+                            wall_ms: eval_started.elapsed().as_secs_f64() * 1e3,
+                        };
+                        results.lock().expect("results poisoned")[i] = Some(result);
+                    }
+                    Err(e) => fail(e),
+                }
+            });
+        }
+    });
+    if let Some(e) = error.lock().expect("error slot poisoned").take() {
+        return Err(e);
+    }
+    let results = results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every scenario evaluated or an error returned"))
+        .collect();
+    Ok(SweepReport {
+        results,
+        threads,
+        flows_built: groups.len(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new(FlowConfig::scattered_small().fast())
+            .mesh(8, 8)
+            .mesh(10, 10)
+            .strategy(Strategy::UniformSlack {
+                area_overhead: 0.16,
+            })
+            .row_counts([4, 8])
+    }
+
+    #[test]
+    fn grid_expansion_is_the_cartesian_product() {
+        let grid = small_grid().workload(
+            "booth",
+            WorkloadSpec {
+                active: vec![arithgen::UnitRole::BoothMult],
+                toggle_probability: 0.5,
+            },
+        );
+        // 1 workload × 2 meshes × 3 strategies.
+        assert_eq!(grid.scenario_count(), 6);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 6);
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.workload, "booth");
+        }
+        // An empty workload axis falls back to the base workload.
+        let implicit = small_grid();
+        assert_eq!(implicit.scenario_count(), 6);
+        assert_eq!(implicit.scenarios()[0].workload, "base");
+    }
+
+    #[test]
+    fn sweep_matches_direct_runs_and_is_thread_invariant() {
+        let grid = small_grid();
+        let one = run_sweep(&grid, 1).unwrap();
+        let four = run_sweep(&grid, 4).unwrap();
+        assert_eq!(one.results.len(), grid.scenario_count());
+        assert_eq!(four.results.len(), grid.scenario_count());
+        assert_eq!(one.flows_built, 2, "two meshes share one workload");
+        for (a, b) in one.results.iter().zip(&four.results) {
+            assert_eq!(a.scenario.index, b.scenario.index);
+            assert!(
+                (a.report.after.peak_c - b.report.after.peak_c).abs() < 1e-9,
+                "thread count must not change results"
+            );
+        }
+        // Spot-check scenario 0 against a direct Flow evaluation.
+        let flow = Flow::new(group_config(
+            &grid.base,
+            &grid.base.workload,
+            one.results[0].scenario.mesh,
+        ))
+        .unwrap();
+        let direct = flow.run(one.results[0].scenario.strategy).unwrap();
+        assert!(
+            (direct.after.peak_c - one.results[0].report.after.peak_c).abs() < 1e-6,
+            "sweep result must match a direct run"
+        );
+    }
+
+    #[test]
+    fn empty_grid_returns_an_empty_report() {
+        let grid = SweepGrid::new(FlowConfig::scattered_small().fast());
+        let report = run_sweep(&grid, 2).unwrap();
+        assert!(report.results.is_empty());
+        assert_eq!(report.flows_built, 0);
+    }
+}

@@ -160,36 +160,41 @@ pub fn hotspot_wrapper(
         });
     }
     let lib = netlist.library();
-    // Average power density over the whole design (W/µm²).
+    // Average power density over the whole design (W/µm²). The hot/cold
+    // classification is placement-independent, so compute it once.
     let total_area: f64 = netlist.total_cell_area_um2();
     let avg_density = power.total_w() / total_area;
-    let is_hot = |id: netlist::CellId| {
-        let cell = netlist.cell(id);
+    let mut hot_flags = Vec::new();
+    for (id, cell) in netlist.cells() {
+        if hot_flags.len() <= id.index() {
+            hot_flags.resize(id.index() + 1, false);
+        }
         let area = lib.cell_area_um2(cell.master());
-        power.cell_w(id) / area >= config.hot_cell_factor * avg_density
-    };
+        hot_flags[id.index()] = power.cell_w(id) / area >= config.hot_cell_factor * avg_density;
+    }
+    let is_hot = |id: netlist::CellId| hot_flags[id.index()];
 
     // Grow each region until it encloses its hotspot *sources*: the
     // detected thermal blob may cover only the core of the source
     // cluster, and re-spreading into a region smaller than the cluster
-    // would concentrate it instead of diluting it.
+    // would concentrate it instead of diluting it. The placement is not
+    // touched until the eviction phase, so the hot rects are stable here.
+    let hot_rects: Vec<Rect> = netlist
+        .cells()
+        .filter(|&(id, _)| is_hot(id))
+        .filter_map(|(id, _)| placement.cell_rect(netlist, floorplan, id))
+        .collect();
     let core = floorplan.core();
     let ring = config.ring_rows * floorplan.row_height();
     let mut regions: Vec<Rect> = regions.to_vec();
     for region in &mut regions {
         for _ in 0..4 {
             let mut bbox: Option<Rect> = None;
-            for (id, _) in netlist.cells() {
-                if !is_hot(id) {
-                    continue;
-                }
-                let Some(rect) = placement.cell_rect(netlist, floorplan, id) else {
-                    continue;
-                };
-                if region.intersects(&rect) {
+            for rect in &hot_rects {
+                if region.intersects(rect) {
                     bbox = Some(match bbox {
-                        None => rect,
-                        Some(b) => b.union(&rect),
+                        None => *rect,
+                        Some(b) => b.union(rect),
                     });
                 }
             }

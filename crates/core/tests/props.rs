@@ -1,0 +1,45 @@
+//! Property tests for the flow's thermal-solve reuse: [`Flow::run`]
+//! (factorized-model cache + memoized baseline) must match
+//! [`Flow::run_reference`] (assemble-per-solve, the pre-engine path) to
+//! within solver tolerance across strategies and mesh resolutions.
+
+use postplace::{Flow, FlowConfig, Strategy};
+use proptest::prelude::*;
+use thermalsim::ThermalConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn cached_runs_match_reference_runs(
+        n in 8usize..13,
+        pick in 0usize..3,
+        overhead in 0.08f64..0.3,
+        rows in 2usize..10,
+    ) {
+        let mut config = FlowConfig::scattered_small().fast();
+        config.thermal = ThermalConfig::with_resolution(n, n);
+        let flow = Flow::new(config).unwrap();
+        let strategy = match pick {
+            0 => Strategy::UniformSlack { area_overhead: overhead },
+            1 => Strategy::EmptyRowInsertion { rows },
+            _ => Strategy::HotspotWrapper { area_overhead: overhead },
+        };
+        let cached = flow.run(strategy).unwrap();
+        let reference = flow.run_reference(strategy).unwrap();
+        prop_assert!(
+            (cached.before.peak_c - reference.before.peak_c).abs() < 1e-5,
+            "baseline peak: cached {} vs reference {}",
+            cached.before.peak_c,
+            reference.before.peak_c
+        );
+        prop_assert!(
+            (cached.after.peak_c - reference.after.peak_c).abs() < 1e-5,
+            "{strategy} peak: cached {} vs reference {}",
+            cached.after.peak_c,
+            reference.after.peak_c
+        );
+        prop_assert!((cached.after.gradient - reference.after.gradient).abs() < 1e-5);
+        prop_assert!((cached.reduction_pct() - reference.reduction_pct()).abs() < 1e-4);
+    }
+}

@@ -12,7 +12,11 @@
 //!   (the thermal case: ambient-temperature boundaries) are reduced by
 //!   Dirichlet elimination to a symmetric positive-definite system and
 //!   solved with Jacobi-preconditioned conjugate gradients; everything
-//!   else falls back to a dense LU factorization of the full MNA system.
+//!   else falls back to a dense LU factorization of the full MNA system;
+//! * [`Circuit::factorize`] — the same reduction assembled and
+//!   preconditioned (incomplete Cholesky) **once**, returning a
+//!   [`FactorizedCircuit`] that is re-solved against many
+//!   current-injection patterns at a fraction of the per-solve cost.
 //!
 //! # Examples
 //!
@@ -37,12 +41,14 @@
 mod circuit;
 mod dense;
 mod error;
+mod factor;
 mod mna;
 mod solution;
 mod sparse;
 
 pub use circuit::{Circuit, NodeId, NodeRef};
 pub use error::{CircuitError, SolveError};
+pub use factor::FactorizedCircuit;
 pub use mna::{Method, SolveOptions};
 pub use solution::DcSolution;
 pub use sparse::CsrMatrix;

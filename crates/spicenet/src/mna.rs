@@ -43,22 +43,10 @@ impl Default for SolveOptions {
     }
 }
 
-fn node_voltage(
-    fixed: &HashMap<usize, f64>,
-    x: &[f64],
-    reduced: &[Option<usize>],
-    i: usize,
-) -> f64 {
-    match fixed.get(&i) {
-        Some(&v) => v,
-        None => x[reduced[i].expect("non-fixed node is reduced")],
-    }
-}
-
 /// Returns `Some(map)` of node-index → fixed voltage when every voltage
 /// source is ideal-to-ground; `None` otherwise. Conflicting constraints
 /// yield an error.
-fn dirichlet_map(c: &Circuit) -> Result<Option<HashMap<usize, f64>>, SolveError> {
+pub(crate) fn dirichlet_map(c: &Circuit) -> Result<Option<HashMap<usize, f64>>, SolveError> {
     let mut fixed: HashMap<usize, f64> = HashMap::new();
     for vs in &c.vsources {
         let (node, volts) = match (vs.pos, vs.neg) {
@@ -81,11 +69,26 @@ fn dirichlet_map(c: &Circuit) -> Result<Option<HashMap<usize, f64>>, SolveError>
     Ok(Some(fixed))
 }
 
-fn solve_reduced(
-    c: &Circuit,
-    fixed: &HashMap<usize, f64>,
-    options: &SolveOptions,
-) -> Result<DcSolution, SolveError> {
+/// The Dirichlet-reduced SPD system of a circuit: the conductance matrix
+/// over non-pinned nodes plus the constant right-hand-side contribution
+/// of the pinned (voltage-source) couplings. Everything here depends only
+/// on the resistor pattern and the source voltages — not on the current
+/// sources — so it can be assembled once and re-solved against many
+/// injection vectors (see [`crate::FactorizedCircuit`]).
+#[derive(Debug)]
+pub(crate) struct ReducedSystem {
+    /// Node index → reduced index (`None` for pinned nodes).
+    pub(crate) reduced: Vec<Option<usize>>,
+    /// Node index → pinned voltage.
+    pub(crate) fixed: HashMap<usize, f64>,
+    /// Reduced conductance matrix (SPD).
+    pub(crate) a: CsrMatrix,
+    /// RHS contribution of resistor couplings into pinned nodes.
+    pub(crate) fixed_rhs: Vec<f64>,
+}
+
+/// Assembles the reduced system, rejecting nodes with no resistive path.
+pub(crate) fn reduce(c: &Circuit, fixed: HashMap<usize, f64>) -> Result<ReducedSystem, SolveError> {
     let n = c.node_count();
     // Map unknown nodes to a dense reduced index space.
     let mut reduced: Vec<Option<usize>> = vec![None; n];
@@ -97,7 +100,7 @@ fn solve_reduced(
         }
     }
     let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(4 * c.resistors.len());
-    let mut rhs = vec![0.0; n_red];
+    let mut fixed_rhs = vec![0.0; n_red];
     for r in &c.resistors {
         let g = 1.0 / r.ohms;
         let ends = [r.a, r.b];
@@ -111,20 +114,8 @@ fn solve_reduced(
                 NodeRef::Ground => {}
                 NodeRef::Node(oi) => match reduced[oi.index()] {
                     Some(rj) => triplets.push((ri, rj, -g)),
-                    None => rhs[ri] += g * fixed[&oi.index()],
+                    None => fixed_rhs[ri] += g * fixed[&oi.index()],
                 },
-            }
-        }
-    }
-    for s in &c.isources {
-        if let NodeRef::Node(t) = s.to {
-            if let Some(ri) = reduced[t.index()] {
-                rhs[ri] += s.amps;
-            }
-        }
-        if let NodeRef::Node(fr) = s.from {
-            if let Some(ri) = reduced[fr.index()] {
-                rhs[ri] -= s.amps;
             }
         }
     }
@@ -141,11 +132,58 @@ fn solve_reduced(
             });
         }
     }
+    Ok(ReducedSystem {
+        reduced,
+        fixed,
+        a,
+        fixed_rhs,
+    })
+}
+
+impl ReducedSystem {
+    /// Adds the circuit's own current sources onto a reduced RHS.
+    pub(crate) fn isource_rhs_into(&self, c: &Circuit, rhs: &mut [f64]) {
+        for s in &c.isources {
+            if let NodeRef::Node(t) = s.to {
+                if let Some(ri) = self.reduced[t.index()] {
+                    rhs[ri] += s.amps;
+                }
+            }
+            if let NodeRef::Node(fr) = s.from {
+                if let Some(ri) = self.reduced[fr.index()] {
+                    rhs[ri] -= s.amps;
+                }
+            }
+        }
+    }
+
+    /// Expands a reduced solution back to per-node voltages.
+    pub(crate) fn expand(&self, x: &[f64]) -> Vec<f64> {
+        self.reduced
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(r) => x[*r],
+                None => self.fixed[&i],
+            })
+            .collect()
+    }
+}
+
+fn solve_reduced(
+    c: &Circuit,
+    fixed: HashMap<usize, f64>,
+    options: &SolveOptions,
+) -> Result<DcSolution, SolveError> {
+    let sys = reduce(c, fixed)?;
+    let n_red = sys.a.n();
+    let mut rhs = sys.fixed_rhs.clone();
+    sys.isource_rhs_into(c, &mut rhs);
     let max_iter = options.max_iterations.unwrap_or(20 * n_red + 100);
     let (x, iterations, residual) = if n_red == 0 {
         (Vec::new(), 0, 0.0)
     } else {
-        conjugate_gradient(&a, &rhs, options.tolerance, max_iter).map_err(
+        conjugate_gradient(&sys.a, &rhs, options.tolerance, max_iter).map_err(
             |(iterations, residual)| {
                 if residual.is_infinite() {
                     SolveError::Singular {
@@ -162,9 +200,7 @@ fn solve_reduced(
             },
         )?
     };
-    let voltages: Vec<f64> = (0..n)
-        .map(|i| node_voltage(fixed, &x, &reduced, i))
-        .collect();
+    let voltages: Vec<f64> = sys.expand(&x);
     // Current delivered by each voltage source = KCL imbalance at its node.
     let volt_of = |r: NodeRef| -> f64 {
         match r {
@@ -272,13 +308,13 @@ pub(crate) fn solve(c: &Circuit, options: SolveOptions) -> Result<DcSolution, So
     match options.method {
         Method::DenseLu => solve_dense(c, &options),
         Method::ConjugateGradient => match dirichlet_map(c)? {
-            Some(fixed) => solve_reduced(c, &fixed, &options),
+            Some(fixed) => solve_reduced(c, fixed, &options),
             None => Err(SolveError::Singular {
                 detail: "CG path requires all voltage sources grounded".to_string(),
             }),
         },
         Method::Auto => match dirichlet_map(c)? {
-            Some(fixed) => solve_reduced(c, &fixed, &options),
+            Some(fixed) => solve_reduced(c, fixed, &options),
             None => solve_dense(c, &options),
         },
     }

@@ -32,10 +32,12 @@
 //! ```
 
 mod map;
+mod model;
 mod network;
 mod sim;
 mod stack;
 
 pub use map::ThermalMap;
+pub use model::FactorizedThermalModel;
 pub use sim::{GridSpec, ThermalConfig, ThermalError, ThermalSimulator};
 pub use stack::{Layer, LayerStack};

@@ -1,0 +1,217 @@
+//! A thermal network factorized once and re-solved against many power
+//! maps.
+//!
+//! The conductance matrix of the paper's RC mesh depends only on the die
+//! outline, the mesh resolution and the layer stack — **not** on the
+//! power map. The optimization loops on top of the flow (row-count
+//! bisection, budget search, scenario sweeps) evaluate dozens of power
+//! maps against a handful of die geometries, so assembling and
+//! preconditioning the network per solve is pure waste. A
+//! [`FactorizedThermalModel`] pays that cost once per geometry and turns
+//! every subsequent evaluation into a preconditioned re-solve.
+
+use geom::{Grid2d, Rect};
+use spicenet::{FactorizedCircuit, NodeId, SolveOptions};
+
+use crate::network::{build_geometry, validate_power};
+use crate::{GridSpec, ThermalConfig, ThermalError, ThermalMap};
+
+/// The geometry-dependent half of a thermal solve, computed once: the
+/// assembled, Dirichlet-reduced, incomplete-Cholesky-preconditioned
+/// conductance system plus the active-layer node map.
+///
+/// Solutions match [`ThermalSimulator::solve`](crate::ThermalSimulator)
+/// to within the configured solver tolerance. The model is plain data
+/// (`Send + Sync`), so one instance can serve many worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use geom::{Grid2d, Rect};
+/// use thermalsim::{FactorizedThermalModel, ThermalConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let die = Rect::new(0.0, 0.0, 300.0, 300.0);
+/// let model = FactorizedThermalModel::build(&ThermalConfig::with_resolution(8, 8), die)?;
+/// let mut power = Grid2d::new(8, 8, die, 0.0);
+/// *power.get_mut(4, 4) = 1e-3;
+/// let hot = model.solve(&power)?; // re-solve, no re-assembly
+/// *power.get_mut(4, 4) = 2e-3;
+/// let hotter = model.solve(&power)?;
+/// assert!(hotter.peak_rise() > hot.peak_rise());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FactorizedThermalModel {
+    config: ThermalConfig,
+    die: Rect,
+    factored: FactorizedCircuit,
+    active_nodes: Vec<NodeId>,
+}
+
+impl FactorizedThermalModel {
+    /// Assembles, reduces and preconditions the network for `die` under
+    /// `config`, once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction and factorization failures.
+    pub fn build(config: &ThermalConfig, die: Rect) -> Result<Self, ThermalError> {
+        let GridSpec { nx, ny } = config.grid;
+        let network = build_geometry(nx, ny, die, &config.stack)?;
+        let factored = network
+            .circuit
+            .factorize(SolveOptions {
+                tolerance: config.tolerance,
+                ..Default::default()
+            })
+            .map_err(ThermalError::Solve)?;
+        Ok(FactorizedThermalModel {
+            config: config.clone(),
+            die,
+            factored,
+            active_nodes: network.active_nodes,
+        })
+    }
+
+    /// The configuration the model was built under.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// The die outline the model was built for.
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// Dimension of the reduced linear system.
+    pub fn unknowns(&self) -> usize {
+        self.factored.reduced_dim()
+    }
+
+    /// Solves the steady-state field for one power map (watts per thermal
+    /// bin) against the cached factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerGridMismatch`] /
+    /// [`ThermalError::InvalidPower`] for a bad power map and
+    /// [`ThermalError::Solve`] if the re-solve fails.
+    pub fn solve(&self, power: &Grid2d<f64>) -> Result<ThermalMap, ThermalError> {
+        let GridSpec { nx, ny } = self.config.grid;
+        validate_power(nx, ny, power)?;
+        let mut injections = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let watts = *power.get(ix, iy);
+                if watts > 0.0 {
+                    injections.push((self.active_nodes[iy * nx + ix], watts));
+                }
+            }
+        }
+        let volts = self
+            .factored
+            .solve_injections(&injections)
+            .map_err(ThermalError::Solve)?;
+        let mut grid = Grid2d::new(nx, ny, self.die, 0.0);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                *grid.get_mut(ix, iy) = volts[self.active_nodes[iy * nx + ix].index()];
+            }
+        }
+        Ok(ThermalMap::new(grid, self.config.stack.ambient_c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThermalSimulator;
+
+    fn die() -> Rect {
+        Rect::new(0.0, 0.0, 335.0, 335.0)
+    }
+
+    #[test]
+    fn matches_the_simulator_on_a_hotspot_map() {
+        let config = ThermalConfig::with_resolution(12, 12);
+        let sim = ThermalSimulator::new(config.clone());
+        let model = FactorizedThermalModel::build(&config, die()).unwrap();
+        let mut p = Grid2d::new(12, 12, die(), 0.0);
+        *p.get_mut(2, 9) = 3e-3;
+        *p.get_mut(8, 3) = 1e-3;
+        let fresh = sim.solve(die(), &p).unwrap();
+        let cached = model.solve(&p).unwrap();
+        for ((_, a), (_, b)) in fresh.grid().iter().zip(cached.grid().iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_and_invalid_power() {
+        let model =
+            FactorizedThermalModel::build(&ThermalConfig::with_resolution(6, 6), die()).unwrap();
+        let wrong = Grid2d::new(4, 4, die(), 0.0);
+        assert!(matches!(
+            model.solve(&wrong),
+            Err(ThermalError::PowerGridMismatch { .. })
+        ));
+        let mut bad = Grid2d::new(6, 6, die(), 0.0);
+        *bad.get_mut(1, 1) = f64::NAN;
+        assert!(matches!(
+            model.solve(&bad),
+            Err(ThermalError::InvalidPower { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let model =
+            FactorizedThermalModel::build(&ThermalConfig::with_resolution(6, 6), die()).unwrap();
+        let map = model.solve(&Grid2d::new(6, 6, die(), 0.0)).unwrap();
+        assert!(map.peak_rise().abs() < 1e-6);
+    }
+
+    #[test]
+    fn simulator_factorize_round_trips() {
+        let sim = ThermalSimulator::new(ThermalConfig::with_resolution(8, 8));
+        let model = sim.factorize(die()).unwrap();
+        assert_eq!(model.config(), sim.config());
+        assert_eq!(model.die(), die());
+        assert!(model.unknowns() > 0);
+    }
+}
+
+#[cfg(test)]
+mod iter_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn print_iteration_counts() {
+        for n in [20usize, 40] {
+            let die = Rect::new(0.0, 0.0, 373.5, 375.3);
+            let config = ThermalConfig::with_resolution(n, n);
+            let network = crate::network::build_geometry(n, n, die, &config.stack).unwrap();
+            let f = network
+                .circuit
+                .factorize(SolveOptions {
+                    tolerance: config.tolerance,
+                    ..Default::default()
+                })
+                .unwrap();
+            let inj: Vec<_> = network
+                .active_nodes
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| (node, 1e-6 * (1.0 + (i % 7) as f64)))
+                .collect();
+            let (_, iters, res) = f.solve_injections_stats(&inj).unwrap();
+            println!(
+                "{n}x{n}x9: {iters} iterations, residual {res:.2e}, unknowns {}",
+                f.reduced_dim()
+            );
+        }
+    }
+}

@@ -145,12 +145,6 @@ impl ThermalSimulator {
     /// system cannot be solved.
     pub fn solve(&self, die: Rect, power: &Grid2d<f64>) -> Result<ThermalMap, ThermalError> {
         let GridSpec { nx, ny } = self.config.grid;
-        if power.nx() != nx || power.ny() != ny {
-            return Err(ThermalError::PowerGridMismatch {
-                expected: (nx, ny),
-                got: (power.nx(), power.ny()),
-            });
-        }
         let network = build_network(nx, ny, die, &self.config.stack, power)?;
         let temps = network.solve(self.config.tolerance)?;
         let mut grid = Grid2d::new(nx, ny, die, 0.0);
@@ -160,6 +154,17 @@ impl ThermalSimulator {
             }
         }
         Ok(ThermalMap::new(grid, self.config.stack.ambient_c))
+    }
+
+    /// Builds and factorizes the geometry-only network for `die` once,
+    /// for repeated solves against many power maps — see
+    /// [`FactorizedThermalModel`](crate::FactorizedThermalModel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction and factorization failures.
+    pub fn factorize(&self, die: Rect) -> Result<crate::FactorizedThermalModel, ThermalError> {
+        crate::FactorizedThermalModel::build(&self.config, die)
     }
 }
 

@@ -1,0 +1,41 @@
+//! Property tests for factorization reuse: a [`FactorizedThermalModel`]
+//! built once per geometry must reproduce fresh
+//! [`ThermalSimulator::solve`] temperature fields to within solver
+//! tolerance for any admissible power map, mesh resolution and die size.
+
+use geom::{Grid2d, Rect};
+use proptest::prelude::*;
+use thermalsim::{FactorizedThermalModel, ThermalConfig, ThermalSimulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cached_model_matches_fresh_solves(
+        n in 4usize..11,
+        side in 150.0f64..500.0,
+        bins in prop::collection::vec((0usize..10, 0usize..10, 0.0f64..5e-3), 1..8),
+    ) {
+        let die = Rect::new(0.0, 0.0, side, side * 0.9);
+        let config = ThermalConfig::with_resolution(n, n);
+        let sim = ThermalSimulator::new(config.clone());
+        let model = FactorizedThermalModel::build(&config, die).unwrap();
+        // Two power maps against the same factorization: reuse must not
+        // leak state between solves.
+        for round in 0..2 {
+            let mut power = Grid2d::new(n, n, die, 0.0);
+            for &(ix, iy, w) in &bins {
+                *power.get_mut(ix % n, iy % n) += w * (round + 1) as f64;
+            }
+            let fresh = sim.solve(die, &power).unwrap();
+            let cached = model.solve(&power).unwrap();
+            let scale = 1.0 + fresh.peak_rise();
+            for ((_, a), (_, b)) in fresh.grid().iter().zip(cached.grid().iter()) {
+                prop_assert!(
+                    (a - b).abs() < 1e-5 * scale,
+                    "mesh {n}x{n}, round {round}: fresh {a} vs cached {b}"
+                );
+            }
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Collection strategies: just [`vec`].
+//! Collection strategies: just [`vec()`].
 
 use crate::{Strategy, TestRng};
 use std::ops::Range;

@@ -9,6 +9,13 @@
 //! speedup. Because the speedup is a within-run ratio, it is comparable
 //! across machines, which is what lets CI gate on it.
 //!
+//! Since schema version 2 the document also carries a `delta` section:
+//! per-candidate latency of the Green's-function delta-evaluation path
+//! (`DeltaThermalModel`) versus `FactorizedThermalModel` re-solves on the
+//! paper's 40×40×9 configuration, plus the worst observed drift between
+//! the two. CI gates on the throughput ratio (≥ 10×) and the drift
+//! (≤ 0.05 K).
+//!
 //! ```sh
 //! cargo bench -p coolplace-bench --bench sweep -- \
 //!     --smoke --threads 2 --out BENCH_sweep.json --check ci/bench-baseline.json
@@ -23,18 +30,23 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use arithgen::UnitRole;
 use coolplace_bench::gate::{check_against_baseline, MAX_SPEEDUP_REGRESSION, PEAK_TOLERANCE_C};
 use coolplace_bench::json::Json;
+use geom::{Grid2d, Rect};
 use postplace::{
     default_threads, run_sweep, Flow, FlowConfig, FlowError, FlowReport, Strategy, SweepGrid,
     WorkloadSpec,
 };
+use thermalsim::{DeltaThermalModel, FactorizedThermalModel, ThermalConfig};
 
 /// Bump when a field changes meaning; additions are backwards-compatible.
-const SCHEMA_VERSION: f64 = 1.0;
+/// v2: added the `delta` section (delta-vs-exact candidate throughput)
+/// and the clustered/checkerboard workloads.
+const SCHEMA_VERSION: f64 = 2.0;
 
 /// In-run agreement required between the sequential reference and the
 /// engine, in kelvin — pure solver noise, no physics.
@@ -117,8 +129,11 @@ fn concentrated() -> WorkloadSpec {
 }
 
 /// The sweep grid: strategies × row counts × workloads × meshes.
-/// Smoke = 2×1×4 = 8 scenarios for CI; full = 2×2×8 = 32 scenarios
-/// (the acceptance configuration).
+/// Smoke = 2×1×4 = 8 scenarios for CI; full = 4×2×8 = 64 scenarios.
+/// The full grid carries all four workload regimes: the paper's two test
+/// sets plus a clustered-hotspot profile (wrapper-friendly: the three
+/// multipliers lit as one concentrated cluster) and a checkerboard
+/// profile (ERI-friendly: every other unit active, wide banded warmth).
 fn build_grid(smoke: bool) -> SweepGrid {
     let base = FlowConfig::scattered_small().fast();
     let grid = SweepGrid::new(base)
@@ -134,7 +149,9 @@ fn build_grid(smoke: bool) -> SweepGrid {
             })
             .row_counts([4, 8])
     } else {
-        grid.mesh(20, 20)
+        grid.workload("clustered", WorkloadSpec::clustered_hotspot())
+            .workload("checkerboard", WorkloadSpec::checkerboard())
+            .mesh(20, 20)
             .mesh(24, 24)
             .strategy(Strategy::UniformSlack {
                 area_overhead: 0.08,
@@ -164,6 +181,141 @@ fn run_sequential(grid: &SweepGrid) -> Result<(Vec<FlowReport>, f64), FlowError>
         reports.push(flows[&key].run_reference(scenario.strategy)?);
     }
     Ok((reports, started.elapsed().as_secs_f64() * 1e3))
+}
+
+/// Delta-bench shape: exact re-solves sampled for a stable per-candidate
+/// cost; enough delta evaluations that the cold influence-column
+/// population (which the delta total includes) is amortized the way a
+/// real screening loop amortizes it.
+const DELTA_EXACT_SAMPLE: usize = 24;
+const DELTA_CANDIDATES: usize = 256;
+const DELTA_POOL_CELLS: usize = 32;
+const DELTA_MOVES_PER_CANDIDATE: usize = 8;
+
+/// Benchmarks per-candidate evaluation on the paper's 40×40×9
+/// configuration: `FactorizedThermalModel::solve` re-solves (tier 2)
+/// versus `DeltaThermalModel::evaluate_delta` superposition (tier 3) over
+/// sparse power redistributions drawn from the hotspot's cells, plus the
+/// worst field-wise drift between the two paths on a common sample.
+fn run_delta_bench() -> Result<Json, String> {
+    let die = Rect::new(0.0, 0.0, 373.5, 375.3);
+    let config = ThermalConfig::paper();
+    let (nx, ny) = (config.grid.nx, config.grid.ny);
+    let build_started = Instant::now();
+    let model = Arc::new(FactorizedThermalModel::build(&config, die).map_err(|e| e.to_string())?);
+    let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+
+    // Baseline power: one concentrated hotspot over a warm background —
+    // the shape of the paper's test set 2.
+    let mut power = Grid2d::new(nx, ny, die, 2e-6);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let dx = ix as f64 - nx as f64 / 2.0;
+            let dy = iy as f64 - ny as f64 / 2.0;
+            let spread = (nx * ny) as f64 / 64.0;
+            *power.get_mut(ix, iy) += 2.5e-3 * (-(dx * dx + dy * dy) / spread).exp();
+        }
+    }
+    // Candidate pool: the hottest bins — where real strategies move power.
+    let mut by_power: Vec<(usize, usize)> = (0..ny)
+        .flat_map(|iy| (0..nx).map(move |ix| (ix, iy)))
+        .collect();
+    by_power.sort_by(|&(ax, ay), &(bx, by)| power.get(bx, by).total_cmp(power.get(ax, ay)));
+    let pool = &by_power[..DELTA_POOL_CELLS.min(by_power.len())];
+
+    // Deterministic candidate stream (LCG): each candidate moves power
+    // between pool cells, net-zero per move pair, never driving a cell
+    // negative (≤ 20 % of a cell's power per move, 4 moves max).
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let candidates: Vec<Vec<(usize, usize, f64)>> = (0..DELTA_CANDIDATES)
+        .map(|_| {
+            let mut moves = Vec::with_capacity(DELTA_MOVES_PER_CANDIDATE);
+            for _ in 0..DELTA_MOVES_PER_CANDIDATE / 2 {
+                let (fx, fy) = pool[next() % pool.len()];
+                let (tx, ty) = pool[next() % pool.len()];
+                let w = power.get(fx, fy) * 0.05 * (1 + next() % 4) as f64 / 4.0;
+                moves.push((fx, fy, -w));
+                moves.push((tx, ty, w));
+            }
+            moves
+        })
+        .collect();
+
+    // Tier 2: full preconditioned re-solves on a sample.
+    let exact_started = Instant::now();
+    let mut exact_maps = Vec::with_capacity(DELTA_EXACT_SAMPLE);
+    for candidate in &candidates[..DELTA_EXACT_SAMPLE] {
+        let mut perturbed = power.clone();
+        for &(ix, iy, dw) in candidate {
+            *perturbed.get_mut(ix, iy) += dw;
+        }
+        exact_maps.push(model.solve(&perturbed).map_err(|e| e.to_string())?);
+    }
+    let exact_ms = exact_started.elapsed().as_secs_f64() * 1e3;
+    let exact_per_candidate_ms = exact_ms / DELTA_EXACT_SAMPLE as f64;
+
+    // Tier 3: delta superposition over every candidate, cold cache — the
+    // column population (warmed in full-width blocks over the candidate
+    // pool, as a real screening loop would) is part of the measured
+    // total.
+    let delta_model =
+        DeltaThermalModel::new(Arc::clone(&model), &power).map_err(|e| e.to_string())?;
+    let delta_started = Instant::now();
+    delta_model.warm_columns(pool).map_err(|e| e.to_string())?;
+    let mut drift_c: f64 = 0.0;
+    for (i, candidate) in candidates.iter().enumerate() {
+        let outcome = delta_model
+            .evaluate_delta(candidate)
+            .map_err(|e| e.to_string())?;
+        if let Some(exact) = exact_maps.get(i) {
+            for ((_, a), (_, b)) in outcome.map.grid().iter().zip(exact.grid().iter()) {
+                drift_c = drift_c.max((a - b).abs());
+            }
+        }
+    }
+    let delta_ms = delta_started.elapsed().as_secs_f64() * 1e3;
+    let delta_per_candidate_ms = delta_ms / DELTA_CANDIDATES as f64;
+    let ratio = exact_per_candidate_ms / delta_per_candidate_ms;
+    println!(
+        "delta bench [{nx}x{ny}x9]: exact {exact_per_candidate_ms:.2} ms/cand, \
+         delta {delta_per_candidate_ms:.3} ms/cand (cold cache) → {ratio:.1}× \
+         ({} superposed, {} fallbacks, {} columns, drift {drift_c:.2e} K)",
+        delta_model.superposed_evaluations(),
+        delta_model.exact_fallbacks(),
+        delta_model.cached_columns(),
+    );
+    Ok(Json::obj([
+        (
+            "mesh",
+            Json::Arr(vec![Json::Num(nx as f64), Json::Num(ny as f64)]),
+        ),
+        ("candidates", Json::Num(DELTA_CANDIDATES as f64)),
+        ("exact_sample", Json::Num(DELTA_EXACT_SAMPLE as f64)),
+        ("pool_cells", Json::Num(pool.len() as f64)),
+        ("model_build_ms", Json::Num(build_ms)),
+        ("exact_per_candidate_ms", Json::Num(exact_per_candidate_ms)),
+        ("delta_per_candidate_ms", Json::Num(delta_per_candidate_ms)),
+        ("throughput_ratio", Json::Num(ratio)),
+        ("max_drift_c", Json::Num(drift_c)),
+        (
+            "superposed",
+            Json::Num(delta_model.superposed_evaluations() as f64),
+        ),
+        (
+            "exact_fallbacks",
+            Json::Num(delta_model.exact_fallbacks() as f64),
+        ),
+        (
+            "columns_cached",
+            Json::Num(delta_model.cached_columns() as f64),
+        ),
+    ]))
 }
 
 fn main() -> ExitCode {
@@ -232,6 +384,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Per-candidate latency of the delta-evaluation engine vs exact
+    // re-solves on the acceptance configuration (40×40×9).
+    let delta_section = match run_delta_bench() {
+        Ok(section) => section,
+        Err(e) => {
+            eprintln!("delta bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let records: Vec<Json> = sweep
         .results
         .iter()
@@ -271,6 +433,7 @@ fn main() -> ExitCode {
         ("sweep_wall_ms", Json::Num(sweep_ms)),
         ("speedup", Json::Num(speedup)),
         ("max_peak_delta_c", Json::Num(max_delta_c)),
+        ("delta", delta_section),
         ("records", Json::Arr(records)),
     ]);
     if let Err(e) = std::fs::write(&args.out, doc.render()) {

@@ -9,6 +9,11 @@
 //! * **Throughput** — the engine-vs-sequential speedup (measured within
 //!   one run, so machine speed cancels out) must not regress by more
 //!   than the configured fraction.
+//! * **Delta evaluation** (schema ≥ 2) — the Green's-function delta path
+//!   must stay exact (worst field-wise drift vs full re-solves within
+//!   [`DELTA_DRIFT_TOLERANCE_C`]) and fast (per-candidate throughput at
+//!   least [`MIN_DELTA_THROUGHPUT_RATIO`] times the re-solve path) —
+//!   both within-run measurements, so machine speed cancels out.
 //!
 //! Violations come back as human-readable strings; an empty list passes.
 
@@ -22,6 +27,16 @@ pub const PEAK_TOLERANCE_C: f64 = 0.25;
 /// Maximum allowed fractional speedup regression vs the baseline (0.2 =
 /// fail when the measured speedup drops below 80 % of the baseline's).
 pub const MAX_SPEEDUP_REGRESSION: f64 = 0.2;
+
+/// Worst allowed field-wise disagreement between the delta-evaluation
+/// path and exact re-solves, in kelvin (the acceptance bound on the
+/// approximation path).
+pub const DELTA_DRIFT_TOLERANCE_C: f64 = 0.05;
+
+/// Minimum candidates-per-second advantage the delta path must hold over
+/// `FactorizedThermalModel` re-solves on the 40×40×9 configuration
+/// (cold-cache column population included in the delta cost).
+pub const MIN_DELTA_THROUGHPUT_RATIO: f64 = 10.0;
 
 fn record_key(record: &Json) -> Option<String> {
     let workload = record.get("workload")?.as_str()?;
@@ -104,6 +119,38 @@ pub fn check_against_baseline(
         _ => failures.push("missing `speedup` value".to_string()),
     }
 
+    failures.extend(check_delta_section(current, baseline));
+    failures
+}
+
+/// Validates the delta-evaluation section: drift and throughput are
+/// within-run measurements, so they gate on this run's own numbers; the
+/// baseline only establishes that the section must be present at all
+/// (schema ≥ 2 documents cannot silently drop it).
+fn check_delta_section(current: &Json, baseline: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(delta) = current.get("delta") else {
+        if baseline.get("delta").is_some() {
+            failures.push("`delta` section missing from this run".to_string());
+        }
+        return failures;
+    };
+    match delta.get("max_drift_c").and_then(Json::as_f64) {
+        Some(drift) if drift > DELTA_DRIFT_TOLERANCE_C => failures.push(format!(
+            "delta path drifted {drift:.4} K from exact re-solves \
+             (tolerance {DELTA_DRIFT_TOLERANCE_C} K)"
+        )),
+        Some(_) => {}
+        None => failures.push("`delta` section missing max_drift_c".to_string()),
+    }
+    match delta.get("throughput_ratio").and_then(Json::as_f64) {
+        Some(ratio) if ratio < MIN_DELTA_THROUGHPUT_RATIO => failures.push(format!(
+            "delta path evaluates only {ratio:.1}× more candidates/sec than \
+             exact re-solves (floor {MIN_DELTA_THROUGHPUT_RATIO}×)"
+        )),
+        Some(_) => {}
+        None => failures.push("`delta` section missing throughput_ratio".to_string()),
+    }
     failures
 }
 
@@ -159,6 +206,52 @@ mod tests {
         let failures = check_against_baseline(&four_threads, &doc(3.0, 81.5), 0.25, 0.2);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("thread count"), "{failures:?}");
+    }
+
+    fn with_delta(mut doc: Json, drift: f64, ratio: f64) -> Json {
+        let Json::Obj(pairs) = &mut doc else {
+            unreachable!()
+        };
+        pairs.push((
+            "delta".to_string(),
+            Json::obj([
+                ("max_drift_c", Json::Num(drift)),
+                ("throughput_ratio", Json::Num(ratio)),
+            ]),
+        ));
+        doc
+    }
+
+    #[test]
+    fn delta_drift_and_throughput_gate() {
+        let base = with_delta(doc(3.0, 81.5), 0.001, 20.0);
+        // Healthy section passes.
+        let good = with_delta(doc(3.0, 81.5), 0.02, 12.0);
+        assert!(check_against_baseline(&good, &base, 0.25, 0.2).is_empty());
+        // Excess drift fails.
+        let drifty = with_delta(doc(3.0, 81.5), 0.12, 20.0);
+        let failures = check_against_baseline(&drifty, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("drifted")),
+            "{failures:?}"
+        );
+        // Throughput under the floor fails.
+        let slow = with_delta(doc(3.0, 81.5), 0.001, 4.0);
+        let failures = check_against_baseline(&slow, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("candidates/sec")),
+            "{failures:?}"
+        );
+        // Dropping the section entirely (when the baseline has it) fails.
+        let failures = check_against_baseline(&doc(3.0, 81.5), &base, 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("`delta` section missing")),
+            "{failures:?}"
+        );
+        // Pre-v2 documents (no delta anywhere) still pass.
+        assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
     }
 
     #[test]

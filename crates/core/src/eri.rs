@@ -6,11 +6,12 @@
 //! outline grows vertically by one row pitch per inserted row, exactly as
 //! in the paper's Table I (20 rows: 335×335 → 335×389 µm²).
 
+use geom::Grid2d;
 use netlist::Netlist;
 use placement::{fill_whitespace, Floorplan, Placement};
 use thermalsim::ThermalMap;
 
-use crate::{FlowError, Hotspot};
+use crate::{FlowError, Hotspot, PowerDelta};
 
 /// What an ERI transformation did.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +43,37 @@ pub fn empty_row_insertion(
     hotspots: &[Hotspot],
     rows: usize,
 ) -> Result<(Floorplan, Placement, EriReport), FlowError> {
+    let positions = eri_insertion_positions(floorplan, map, hotspots, rows)?;
+    let (new_fp, mapping) = floorplan.with_rows_inserted(&positions);
+    let mut new_placement = placement.remap_rows(&new_fp, &mapping);
+    fill_whitespace(netlist, &new_fp, &mut new_placement)?;
+    let area_overhead = new_fp.core().area() / floorplan.core().area() - 1.0;
+    Ok((
+        new_fp,
+        new_placement,
+        EriReport {
+            insertion_positions: positions,
+            area_overhead,
+        },
+    ))
+}
+
+/// Chooses where `rows` empty rows would go, without touching the
+/// placement: the gaps between used rows ranked by the temperature of
+/// the adjacent rows, hottest first, wrapping around once every hot gap
+/// has one. This is the decision half of [`empty_row_insertion`], shared
+/// with the candidate-screening surrogate ([`eri_power_delta`]).
+///
+/// # Errors
+///
+/// Returns [`FlowError::BadStrategy`] when `rows == 0`, no hotspot was
+/// supplied, or the hotspots overlap no row.
+pub fn eri_insertion_positions(
+    floorplan: &Floorplan,
+    map: &ThermalMap,
+    hotspots: &[Hotspot],
+    rows: usize,
+) -> Result<Vec<usize>, FlowError> {
     if rows == 0 {
         return Err(FlowError::BadStrategy {
             detail: "empty row insertion needs rows > 0".to_string(),
@@ -96,22 +128,96 @@ pub fn empty_row_insertion(
             detail: "no insertion candidates near the hotspots".to_string(),
         });
     }
-    let positions: Vec<usize> = (0..rows)
+    Ok((0..rows)
         .map(|k| candidates[k % candidates.len()])
-        .collect();
+        .collect())
+}
 
-    let (new_fp, mapping) = floorplan.with_rows_inserted(&positions);
-    let mut new_placement = placement.remap_rows(&new_fp, &mapping);
-    fill_whitespace(netlist, &new_fp, &mut new_placement)?;
-    let area_overhead = new_fp.core().area() / floorplan.core().area() - 1.0;
-    Ok((
-        new_fp,
-        new_placement,
-        EriReport {
-            insertion_positions: positions,
-            area_overhead,
-        },
-    ))
+/// The screening surrogate for an ERI candidate: the power redistribution
+/// the insertion would cause, modeled **on the baseline mesh** (fixed die
+/// outline) so it can be priced by a
+/// [`crate::CandidateEvaluator`] without re-placing anything.
+///
+/// The surrogate applies the real geometric transform — cells above each
+/// inserted row shift up by one pitch, opening a powerless gap — then
+/// compresses the stretched layout back onto the original die height and
+/// scales all power by the area-dilution factor `H/H′`, mimicking the
+/// grown outline at constant mesh. Power mass moves along `y` only,
+/// exactly as rigid row remapping does.
+pub fn eri_power_delta(
+    power: &Grid2d<f64>,
+    floorplan: &Floorplan,
+    positions: &[usize],
+) -> PowerDelta {
+    let core = floorplan.core();
+    let h = floorplan.row_height();
+    let n_rows = floorplan.num_rows();
+    let grown = core.height() + positions.len() as f64 * h;
+    if grown <= 0.0 || power.ny() == 0 {
+        return PowerDelta::default();
+    }
+    // insertions_below[r] = rows inserted below placement row r.
+    let mut insertions_below = vec![0usize; n_rows + 1];
+    for &p in positions {
+        for slot in insertions_below.iter_mut().skip(p.min(n_rows)) {
+            *slot += 1;
+        }
+    }
+    let compress = core.height() / grown;
+    // Maps a baseline y (relative to the core) to its post-insertion,
+    // re-compressed position. Within one placement row the shift is
+    // constant, so the map is linear between row boundaries.
+    let shifted = |y: f64| -> f64 {
+        let row = ((y / h).floor().max(0.0) as usize).min(n_rows.saturating_sub(1));
+        (y + insertions_below[row] as f64 * h) * compress
+    };
+    let ny = power.ny();
+    let nx = power.nx();
+    let mesh_h = core.height() / ny as f64;
+    let mut new_map = Grid2d::new(nx, ny, power.extent(), 0.0);
+    // Redistribute each mesh row's power along y: split the source
+    // interval at placement-row boundaries (the map is linear inside
+    // each), push every piece through the shift, and deposit it onto the
+    // destination mesh rows by overlap. x columns are untouched.
+    for iy in 0..ny {
+        let y0 = iy as f64 * mesh_h;
+        let y1 = y0 + mesh_h;
+        // Split points: placement-row boundaries inside [y0, y1].
+        let first_row = (y0 / h).floor() as usize;
+        let mut cuts = vec![y0];
+        let mut r = first_row + 1;
+        while (r as f64) * h < y1 {
+            if (r as f64) * h > y0 {
+                cuts.push((r as f64) * h);
+            }
+            r += 1;
+        }
+        cuts.push(y1);
+        for piece in cuts.windows(2) {
+            let (u, v) = (piece[0], piece[1]);
+            if v - u <= 0.0 {
+                continue;
+            }
+            let frac = (v - u) / mesh_h;
+            let (mu, mv) = (shifted(u), shifted(u) + (v - u) * compress);
+            // Deposit onto destination mesh rows by overlap.
+            let j0 = ((mu / mesh_h).floor().max(0.0) as usize).min(ny - 1);
+            let j1 = ((mv / mesh_h).ceil().max(1.0) as usize).min(ny);
+            for jy in j0..j1.max(j0 + 1) {
+                let d0 = jy as f64 * mesh_h;
+                let d1 = d0 + mesh_h;
+                let overlap = (mv.min(d1) - mu.max(d0)).max(0.0);
+                if overlap <= 0.0 {
+                    continue;
+                }
+                let share = overlap / (mv - mu).max(1e-12);
+                for ix in 0..nx {
+                    *new_map.get_mut(ix, jy) += power.get(ix, iy) * frac * share * compress;
+                }
+            }
+        }
+    }
+    PowerDelta::between(power, &new_map, 1e-15)
 }
 
 #[cfg(test)]

@@ -1,0 +1,463 @@
+//! Unified candidate evaluation: exact re-solves vs delta superposition.
+//!
+//! The optimization loops on top of the flow (row bisection, budget
+//! search, sweeps over strategy spaces) compare many *candidate*
+//! transformations that differ from the memoized baseline only in how
+//! power is redistributed over the die. A [`PowerDelta`] captures that
+//! difference as a sparse set of per-bin watt changes; a
+//! [`CandidateEvaluator`] turns it into a peak-temperature estimate.
+//!
+//! Two implementations share the trait:
+//!
+//! * [`ExactCandidateEvaluator`] — applies the delta to the baseline
+//!   power map and runs a full preconditioned re-solve against the
+//!   cached [`FactorizedThermalModel`] (PR 2's cost model, ~tens of
+//!   milliseconds per candidate);
+//! * [`DeltaCandidateEvaluator`] — superposes cached Green's-function
+//!   influence columns through a [`DeltaThermalModel`] (microseconds per
+//!   candidate once columns are warm), falling back to an exact re-solve
+//!   for perturbations too dense for superposition to win.
+//!
+//! Screening decisions may come from the delta path, but reported
+//! [`crate::FlowReport`] numbers never do: the optimization loops
+//! re-verify every winning candidate with a full [`crate::Flow::run`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use geom::Grid2d;
+use thermalsim::{DeltaThermalModel, FactorizedThermalModel, ThermalMap};
+
+use crate::FlowError;
+
+/// A candidate transformation expressed as a sparse power redistribution
+/// (watts per thermal bin) against the baseline power map.
+///
+/// # Examples
+///
+/// ```
+/// use postplace::PowerDelta;
+///
+/// // Move 2 mW from bin (3, 3) to bin (3, 6).
+/// let delta = PowerDelta::new(vec![(3, 3, -2e-3), (3, 6, 2e-3)]);
+/// assert_eq!(delta.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerDelta {
+    /// Per-bin watt changes `(ix, iy, Δwatts)`; entries for the same bin
+    /// accumulate.
+    pub deltas: Vec<(usize, usize, f64)>,
+}
+
+impl PowerDelta {
+    /// Wraps a list of per-bin changes.
+    pub fn new(deltas: Vec<(usize, usize, f64)>) -> Self {
+        PowerDelta { deltas }
+    }
+
+    /// The element-wise difference `candidate − base`, dropping changes
+    /// below `eps` watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two maps have different resolutions.
+    pub fn between(base: &Grid2d<f64>, candidate: &Grid2d<f64>, eps: f64) -> Self {
+        assert_eq!(base.nx(), candidate.nx(), "power map resolution mismatch");
+        assert_eq!(base.ny(), candidate.ny(), "power map resolution mismatch");
+        let mut deltas = Vec::new();
+        for iy in 0..base.ny() {
+            for ix in 0..base.nx() {
+                let dw = candidate.get(ix, iy) - base.get(ix, iy);
+                if dw.abs() > eps {
+                    deltas.push((ix, iy, dw));
+                }
+            }
+        }
+        PowerDelta { deltas }
+    }
+
+    /// Number of perturbed bins.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Whether the candidate equals the baseline.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Returns `Some(scale)` when this delta is exactly a uniform scaling
+    /// of `base` — every non-zero bin changed by the same factor and no
+    /// zero bin gained power. Linearity then gives the perturbed field in
+    /// closed form (no solve at all): `T′ − T_amb = (1 + scale)·(T −
+    /// T_amb)`.
+    fn uniform_scale_of(&self, base: &Grid2d<f64>) -> Option<f64> {
+        if self.deltas.is_empty() {
+            return Some(0.0);
+        }
+        let mut scale: Option<f64> = None;
+        let mut seen = std::collections::HashSet::with_capacity(self.deltas.len());
+        for &(ix, iy, dw) in &self.deltas {
+            if ix >= base.nx() || iy >= base.ny() {
+                return None;
+            }
+            // Duplicate entries accumulate per the contract; the simple
+            // per-entry ratio test below would misread them, so leave
+            // duplicated-bin deltas to the general superposition path.
+            if !seen.insert((ix, iy)) {
+                return None;
+            }
+            let p = *base.get(ix, iy);
+            if p <= 0.0 {
+                return None; // power appearing in an empty bin
+            }
+            let s = dw / p;
+            if s < -1.0 - 1e-12 {
+                // Beyond full removal — negative power. Leave it to the
+                // general path, which rejects it as InvalidPower.
+                return None;
+            }
+            match scale {
+                None => scale = Some(s),
+                Some(prev) if (prev - s).abs() > 1e-9 * (1.0 + prev.abs()) => return None,
+                Some(_) => {}
+            }
+        }
+        // Every powered bin must be scaled, or the field is not a pure
+        // scaling of the baseline.
+        let powered = base.values().iter().filter(|&&p| p > 0.0).count();
+        if seen.len() == powered {
+            scale
+        } else {
+            None
+        }
+    }
+}
+
+/// A candidate's estimated thermal outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateEval {
+    /// Estimated peak temperature, °C.
+    pub peak_c: f64,
+    /// Estimated peak rise above ambient, K.
+    pub peak_rise: f64,
+    /// Estimated peak-temperature reduction vs the baseline, percent of
+    /// the baseline rise (the paper's metric).
+    pub reduction_pct: f64,
+    /// `true` when the number came from a full re-solve rather than
+    /// superposition.
+    pub exact: bool,
+}
+
+/// Anything that can price a candidate power redistribution.
+///
+/// Implementations are thread-safe (`Send + Sync`) so optimization loops
+/// can screen candidates from worker threads.
+///
+/// # Examples
+///
+/// ```no_run
+/// use postplace::{CandidateEvaluator, Flow, FlowConfig, PowerDelta, Strategy};
+///
+/// # fn main() -> Result<(), postplace::FlowError> {
+/// let flow = Flow::new(FlowConfig::scattered_small().fast())?;
+/// let evaluator = flow.delta_evaluator()?;
+/// // Screen a strategy without rebuilding its placement.
+/// let delta = flow.strategy_power_delta(Strategy::EmptyRowInsertion { rows: 8 })?;
+/// let estimate = evaluator.evaluate(&delta)?;
+/// println!("estimated reduction: {:.2}%", estimate.reduction_pct);
+/// // The winner is then re-verified exactly:
+/// let report = flow.run(Strategy::EmptyRowInsertion { rows: 8 })?;
+/// # let _ = report;
+/// # Ok(())
+/// # }
+/// ```
+pub trait CandidateEvaluator: Send + Sync {
+    /// The baseline field candidates are measured against.
+    fn baseline(&self) -> &ThermalMap;
+
+    /// Prices one candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solve failures and invalid deltas.
+    fn evaluate(&self, delta: &PowerDelta) -> Result<CandidateEval, FlowError>;
+
+    /// Candidates evaluated so far.
+    fn evaluations(&self) -> usize;
+}
+
+fn eval_from_map(map: &ThermalMap, baseline: &ThermalMap, exact: bool) -> CandidateEval {
+    let base_rise = baseline.peak_rise();
+    let rise = map.peak_rise();
+    CandidateEval {
+        peak_c: map.peak_bin().1,
+        peak_rise: rise,
+        reduction_pct: if base_rise > 0.0 {
+            (base_rise - rise) / base_rise * 100.0
+        } else {
+            0.0
+        },
+        exact,
+    }
+}
+
+/// Tier-2 evaluation: every candidate pays one preconditioned re-solve
+/// against the shared factorization.
+#[derive(Debug)]
+pub struct ExactCandidateEvaluator {
+    model: Arc<FactorizedThermalModel>,
+    baseline_power: Grid2d<f64>,
+    baseline: ThermalMap,
+    count: AtomicUsize,
+}
+
+impl ExactCandidateEvaluator {
+    /// Builds the evaluator from a factorized model and its baseline
+    /// power map (the baseline field is solved once here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline-solve failures.
+    pub fn new(
+        model: Arc<FactorizedThermalModel>,
+        baseline_power: &Grid2d<f64>,
+    ) -> Result<Self, FlowError> {
+        let baseline = model.solve(baseline_power)?;
+        Ok(Self::with_baseline(model, baseline_power, baseline))
+    }
+
+    /// Like [`ExactCandidateEvaluator::new`] with the baseline field
+    /// already solved (e.g. the flow's memoized baseline analysis) — no
+    /// extra solve is spent.
+    pub fn with_baseline(
+        model: Arc<FactorizedThermalModel>,
+        baseline_power: &Grid2d<f64>,
+        baseline: ThermalMap,
+    ) -> Self {
+        ExactCandidateEvaluator {
+            model,
+            baseline_power: baseline_power.clone(),
+            baseline,
+            count: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl CandidateEvaluator for ExactCandidateEvaluator {
+    fn baseline(&self) -> &ThermalMap {
+        &self.baseline
+    }
+
+    fn evaluate(&self, delta: &PowerDelta) -> Result<CandidateEval, FlowError> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if delta.is_empty() {
+            return Ok(eval_from_map(&self.baseline, &self.baseline, true));
+        }
+        // Merge duplicate entries first, then validate the net totals —
+        // the same semantics as `DeltaThermalModel::evaluate_delta`, so
+        // the two trait implementations agree on every input.
+        let mut power = self.baseline_power.clone();
+        for &(ix, iy, dw) in &delta.deltas {
+            if ix >= power.nx() || iy >= power.ny() || !dw.is_finite() {
+                return Err(FlowError::Thermal(thermalsim::ThermalError::InvalidPower {
+                    bin: (ix, iy),
+                    watts: dw,
+                }));
+            }
+            *power.get_mut(ix, iy) += dw;
+        }
+        for iy in 0..power.ny() {
+            for ix in 0..power.nx() {
+                let watts = power.get_mut(ix, iy);
+                if *watts < -1e-9 {
+                    return Err(FlowError::Thermal(thermalsim::ThermalError::InvalidPower {
+                        bin: (ix, iy),
+                        watts: *watts,
+                    }));
+                }
+                if *watts < 0.0 {
+                    *watts = 0.0; // rounding residue of a full move-out
+                }
+            }
+        }
+        let map = self.model.solve(&power)?;
+        Ok(eval_from_map(&map, &self.baseline, true))
+    }
+
+    fn evaluations(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Tier-3 evaluation: sparse candidates are priced by influence-column
+/// superposition; uniform scalings are priced in closed form; everything
+/// too dense falls back to one exact re-solve inside the wrapped
+/// [`DeltaThermalModel`].
+#[derive(Debug)]
+pub struct DeltaCandidateEvaluator {
+    model: DeltaThermalModel,
+    count: AtomicUsize,
+    analytic: AtomicUsize,
+}
+
+impl DeltaCandidateEvaluator {
+    /// Wraps a delta model.
+    pub fn new(model: DeltaThermalModel) -> Self {
+        DeltaCandidateEvaluator {
+            model,
+            count: AtomicUsize::new(0),
+            analytic: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped delta model (cache statistics live there).
+    pub fn model(&self) -> &DeltaThermalModel {
+        &self.model
+    }
+
+    /// Candidates priced in closed form as uniform power scalings.
+    pub fn analytic_evaluations(&self) -> usize {
+        self.analytic.load(Ordering::Relaxed)
+    }
+}
+
+impl CandidateEvaluator for DeltaCandidateEvaluator {
+    fn baseline(&self) -> &ThermalMap {
+        self.model.baseline()
+    }
+
+    fn evaluate(&self, delta: &PowerDelta) -> Result<CandidateEval, FlowError> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let baseline = self.model.baseline();
+        // A pure scaling of the baseline power needs no solve at all:
+        // by linearity the whole rise field scales with it.
+        if let Some(scale) = delta.uniform_scale_of(self.model.baseline_power()) {
+            self.analytic.fetch_add(1, Ordering::Relaxed);
+            let base_rise = baseline.peak_rise();
+            let rise = (1.0 + scale) * base_rise;
+            return Ok(CandidateEval {
+                peak_c: baseline.ambient_c()
+                    + (1.0 + scale) * (baseline.peak_bin().1 - baseline.ambient_c()),
+                peak_rise: rise,
+                reduction_pct: if base_rise > 0.0 { -scale * 100.0 } else { 0.0 },
+                exact: false,
+            });
+        }
+        let outcome = self.model.evaluate_delta(&delta.deltas)?;
+        Ok(eval_from_map(&outcome.map, baseline, outcome.exact))
+    }
+
+    fn evaluations(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Rect;
+    use thermalsim::ThermalConfig;
+
+    fn setup() -> (Arc<FactorizedThermalModel>, Grid2d<f64>) {
+        let die = Rect::new(0.0, 0.0, 300.0, 300.0);
+        let model = Arc::new(
+            FactorizedThermalModel::build(&ThermalConfig::with_resolution(10, 10), die).unwrap(),
+        );
+        let mut power = Grid2d::new(10, 10, die, 0.0);
+        *power.get_mut(5, 5) = 3e-3;
+        *power.get_mut(2, 7) = 1e-3;
+        (model, power)
+    }
+
+    #[test]
+    fn exact_and_delta_evaluators_agree() {
+        let (model, power) = setup();
+        let exact = ExactCandidateEvaluator::new(Arc::clone(&model), &power).unwrap();
+        let delta = DeltaCandidateEvaluator::new(DeltaThermalModel::new(model, &power).unwrap());
+        let candidate = PowerDelta::new(vec![(5, 5, -1e-3), (8, 2, 1e-3)]);
+        let a = exact.evaluate(&candidate).unwrap();
+        let b = delta.evaluate(&candidate).unwrap();
+        assert!(a.exact && !b.exact);
+        assert!(
+            (a.peak_c - b.peak_c).abs() < 1e-6,
+            "{} vs {}",
+            a.peak_c,
+            b.peak_c
+        );
+        assert!((a.reduction_pct - b.reduction_pct).abs() < 1e-6);
+        assert_eq!(exact.evaluations(), 1);
+        assert_eq!(delta.evaluations(), 1);
+    }
+
+    #[test]
+    fn uniform_scaling_is_priced_in_closed_form() {
+        let (model, power) = setup();
+        let exact = ExactCandidateEvaluator::new(Arc::clone(&model), &power).unwrap();
+        let delta = DeltaCandidateEvaluator::new(DeltaThermalModel::new(model, &power).unwrap());
+        // Scale every powered bin down by 1/(1+0.25): the Default
+        // strategy's dilution surrogate.
+        let s = 1.0 / 1.25 - 1.0;
+        let candidate = PowerDelta::new(vec![(5, 5, 3e-3 * s), (2, 7, 1e-3 * s)]);
+        let a = exact.evaluate(&candidate).unwrap();
+        let b = delta.evaluate(&candidate).unwrap();
+        assert_eq!(delta.analytic_evaluations(), 1);
+        assert_eq!(delta.model().superposed_evaluations(), 0, "no solve spent");
+        assert!((a.peak_rise - b.peak_rise).abs() < 1e-6);
+        assert!((b.reduction_pct - 20.0).abs() < 1e-6, "{}", b.reduction_pct);
+    }
+
+    #[test]
+    fn evaluators_agree_on_duplicate_bin_deltas() {
+        // Duplicate entries accumulate; a net-zero pair must price as the
+        // baseline on BOTH paths (order-independent, no closed-form
+        // misfire), and an accumulating pair must match across paths.
+        let (model, power) = setup();
+        let exact = ExactCandidateEvaluator::new(Arc::clone(&model), &power).unwrap();
+        let delta = DeltaCandidateEvaluator::new(DeltaThermalModel::new(model, &power).unwrap());
+        let net_zero = PowerDelta::new(vec![(5, 5, -2e-3), (5, 5, 2e-3)]);
+        let a = exact.evaluate(&net_zero).unwrap();
+        let b = delta.evaluate(&net_zero).unwrap();
+        assert!((a.peak_rise - exact.baseline().peak_rise()).abs() < 1e-9);
+        assert!((a.peak_rise - b.peak_rise).abs() < 1e-6);
+        let split = PowerDelta::new(vec![(5, 5, -4e-4), (5, 5, -6e-4), (8, 2, 1e-3)]);
+        let a = exact.evaluate(&split).unwrap();
+        let b = delta.evaluate(&split).unwrap();
+        assert!(
+            (a.peak_c - b.peak_c).abs() < 1e-6,
+            "{} vs {}",
+            a.peak_c,
+            b.peak_c
+        );
+        // Driving a bin's total power negative is an error on both paths.
+        let negative = PowerDelta::new(vec![(5, 5, -1.0)]);
+        assert!(exact.evaluate(&negative).is_err());
+        assert!(delta.evaluate(&negative).is_err());
+    }
+
+    #[test]
+    fn empty_delta_is_the_baseline() {
+        let (model, power) = setup();
+        let exact = ExactCandidateEvaluator::new(model, &power).unwrap();
+        let eval = exact.evaluate(&PowerDelta::default()).unwrap();
+        assert!((eval.reduction_pct).abs() < 1e-12);
+        assert!((eval.peak_rise - exact.baseline().peak_rise()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn between_diffs_power_maps_sparsely() {
+        let die = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let base = Grid2d::new(4, 4, die, 1e-3);
+        let mut cand = base.clone();
+        *cand.get_mut(1, 2) += 5e-4;
+        *cand.get_mut(3, 0) -= 2e-4;
+        let delta = PowerDelta::between(&base, &cand, 1e-12);
+        assert_eq!(delta.len(), 2);
+        let (_, _, dw) = delta
+            .deltas
+            .iter()
+            .find(|&&(ix, iy, _)| (ix, iy) == (1, 2))
+            .unwrap();
+        assert!((dw - 5e-4).abs() < 1e-12);
+    }
+}

@@ -15,9 +15,12 @@ use thermalsim::{FactorizedThermalModel, ThermalConfig, ThermalMap, ThermalSimul
 use timan::{analyze, TimingConfig, TimingReport};
 
 use crate::{
-    detect_hotspots, empty_row_insertion, hotspot_wrapper, uniform_slack, FlowError, Hotspot,
-    HotspotConfig, Strategy, WrapperConfig,
+    detect_hotspots, empty_row_insertion, eri_insertion_positions, eri_power_delta,
+    hotspot_wrapper, uniform_power_delta, uniform_slack, wrapper_power_delta,
+    DeltaCandidateEvaluator, ExactCandidateEvaluator, FlowError, Hotspot, HotspotConfig,
+    PowerDelta, Strategy, WrapperConfig,
 };
+use thermalsim::DeltaThermalModel;
 
 /// Which units a workload exercises, and how hard.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +29,32 @@ pub struct WorkloadSpec {
     pub active: Vec<UnitRole>,
     /// Per-cycle, per-bit input flip probability for active units.
     pub toggle_probability: f64,
+}
+
+impl WorkloadSpec {
+    /// A clustered-hotspot workload: the three multipliers driven hard,
+    /// so the largest adjacent units light up as one concentrated thermal
+    /// cluster — the regime the Hotspot Wrapper targets.
+    pub fn clustered_hotspot() -> Self {
+        WorkloadSpec {
+            active: vec![
+                UnitRole::BoothMult,
+                UnitRole::WallaceMult,
+                UnitRole::ArrayMult,
+            ],
+            toggle_probability: 0.7,
+        }
+    }
+
+    /// A checkerboard workload: every other unit of the benchmark active,
+    /// alternating hot and cold blocks across the whole die — wide,
+    /// banded warmth, the regime Empty Row Insertion targets.
+    pub fn checkerboard() -> Self {
+        WorkloadSpec {
+            active: UnitRole::ALL.iter().copied().step_by(2).collect(),
+            toggle_probability: 0.5,
+        }
+    }
 }
 
 /// Complete configuration of one paper experiment.
@@ -280,6 +309,7 @@ impl ThermalModelCache {
 #[derive(Debug, Clone)]
 struct BaselineAnalysis {
     power: PowerReport,
+    pmap: Grid2d<f64>,
     tmap: ThermalMap,
     hotspots: Vec<Hotspot>,
     timing: TimingReport,
@@ -471,12 +501,13 @@ impl Flow {
     fn compute_baseline(&self, cached: bool) -> Result<BaselineAnalysis, FlowError> {
         let fp = &self.base.floorplan;
         let pl = &self.base.placement;
-        let (power, _, tmap) = self.analyze_placement_with(fp, pl, cached)?;
+        let (power, pmap, tmap) = self.analyze_placement_with(fp, pl, cached)?;
         let hotspots = detect_hotspots(&tmap, &self.config.hotspot);
         let timing = analyze(&self.netlist, fp, pl, Some(&tmap), &self.config.timing);
         let hpwl_um = total_hpwl(&self.netlist, fp, pl);
         Ok(BaselineAnalysis {
             power,
+            pmap,
             tmap,
             hotspots,
             timing,
@@ -503,14 +534,119 @@ impl Flow {
             .collect()
     }
 
-    /// The power map and thermal map of the *base* placement.
+    /// The power map and thermal map of the *base* placement (memoized —
+    /// repeated calls only clone).
     ///
     /// # Errors
     ///
     /// Propagates thermal-solve failures.
     pub fn baseline_maps(&self) -> Result<(Grid2d<f64>, ThermalMap), FlowError> {
-        let (_, pmap, tmap) = self.analyze_placement(&self.base.floorplan, &self.base.placement)?;
-        Ok((pmap, tmap))
+        let b = self.baseline()?;
+        Ok((b.pmap.clone(), b.tmap.clone()))
+    }
+
+    /// The memoized baseline power map (watts per thermal bin) that
+    /// candidate [`PowerDelta`]s are measured against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solve failures.
+    pub fn baseline_power_map(&self) -> Result<&Grid2d<f64>, FlowError> {
+        Ok(&self.baseline()?.pmap)
+    }
+
+    /// The memoized baseline hotspots (detected on the base placement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solve failures.
+    pub fn baseline_hotspots(&self) -> Result<&[Hotspot], FlowError> {
+        Ok(&self.baseline()?.hotspots)
+    }
+
+    /// A tier-2 candidate evaluator: every candidate power delta is
+    /// priced by a full preconditioned re-solve against the base
+    /// geometry's cached factorization. The screening yardstick the
+    /// delta path is benchmarked against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and baseline-solve failures.
+    pub fn exact_evaluator(&self) -> Result<ExactCandidateEvaluator, FlowError> {
+        let b = self.baseline()?;
+        let model = self.thermal_model(self.base.floorplan.core())?;
+        Ok(ExactCandidateEvaluator::with_baseline(
+            model,
+            &b.pmap,
+            b.tmap.clone(),
+        ))
+    }
+
+    /// A tier-3 candidate evaluator: sparse candidate power deltas are
+    /// priced by Green's-function influence-column superposition against
+    /// the memoized baseline (with transparent exact fallback for dense
+    /// perturbations). This is what the optimization loops screen with;
+    /// winners are always re-verified by a full [`Flow::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and baseline-solve failures.
+    pub fn delta_evaluator(&self) -> Result<DeltaCandidateEvaluator, FlowError> {
+        let b = self.baseline()?;
+        let model = self.thermal_model(self.base.floorplan.core())?;
+        // Reuse the memoized baseline field — no extra solve.
+        let delta = DeltaThermalModel::with_baseline(model, &b.pmap, b.tmap.clone())?;
+        Ok(DeltaCandidateEvaluator::new(delta))
+    }
+
+    /// The screening surrogate of a strategy: the sparse power
+    /// redistribution it would cause, modeled on the baseline mesh (see
+    /// the per-strategy generators [`eri_power_delta`],
+    /// [`uniform_power_delta`] and [`wrapper_power_delta`]). Surrogates
+    /// drive candidate *screening* only — [`FlowReport`] numbers always
+    /// come from an exact run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline failures and strategy-parameter errors (e.g.
+    /// ERI with no detected hotspots).
+    pub fn strategy_power_delta(&self, strategy: Strategy) -> Result<PowerDelta, FlowError> {
+        let b = self.baseline()?;
+        match strategy {
+            Strategy::None => Ok(PowerDelta::default()),
+            Strategy::UniformSlack { area_overhead } => {
+                Ok(uniform_power_delta(&b.pmap, area_overhead))
+            }
+            Strategy::EmptyRowInsertion { rows } => {
+                let positions =
+                    eri_insertion_positions(&self.base.floorplan, &b.tmap, &b.hotspots, rows)?;
+                Ok(eri_power_delta(&b.pmap, &self.base.floorplan, &positions))
+            }
+            Strategy::HotspotWrapper { area_overhead } => {
+                let hotspot_cfg = self.wrapper_hotspot_config();
+                let blobs = detect_hotspots(&b.tmap, &hotspot_cfg);
+                let spots = crate::split_hotspots_by_regions(
+                    &b.tmap,
+                    &blobs,
+                    &self.base.regions,
+                    hotspot_cfg.min_bins,
+                );
+                let regions =
+                    crate::wrap_regions(&spots, &self.base.floorplan, &self.config.wrapper);
+                Ok(wrapper_power_delta(&b.pmap, &regions, area_overhead))
+            }
+        }
+    }
+
+    /// The wrapper's hotspot-core detection thresholds, made
+    /// resolution-aware: bin-count floors scale with the mesh so fine
+    /// meshes do not let sliver hotspots through (the ≥ 28×28 failure).
+    fn wrapper_hotspot_config(&self) -> HotspotConfig {
+        HotspotConfig {
+            threshold_fraction: self.config.wrapper.threshold_fraction,
+            ..self.config.hotspot
+        }
+        .scaled_for_mesh(self.config.thermal.grid.nx, self.config.thermal.grid.ny)
     }
 
     /// Runs one strategy and reports before/after metrics.
@@ -588,13 +724,11 @@ impl Flow {
                 )?;
                 let (_, _, tmap_relaxed) =
                     self.analyze_placement_with(&relaxed.floorplan, &relaxed.placement, cached)?;
-                let blobs = detect_hotspots(
-                    &tmap_relaxed,
-                    &HotspotConfig {
-                        threshold_fraction: self.config.wrapper.threshold_fraction,
-                        ..self.config.hotspot
-                    },
-                );
+                // Resolution-aware thresholds: a fixed min_bins lets
+                // sliver hotspots through on fine meshes, producing wrap
+                // regions too thin to absorb their hot cells.
+                let hotspot_cfg = self.wrapper_hotspot_config();
+                let blobs = detect_hotspots(&tmap_relaxed, &hotspot_cfg);
                 // Wrap per hotspot source: split merged thermal blobs along
                 // the unit-region boundaries (paper Fig. 4 wraps each
                 // hotspot separately), then clip the wrappers to stay
@@ -603,7 +737,7 @@ impl Flow {
                     &tmap_relaxed,
                     &blobs,
                     &relaxed.regions,
-                    self.config.hotspot.min_bins,
+                    hotspot_cfg.min_bins,
                 );
                 let regions = crate::wrap_regions(&spots, &relaxed.floorplan, &self.config.wrapper);
                 let mut placement = relaxed.placement;

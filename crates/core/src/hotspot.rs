@@ -29,6 +29,38 @@ impl Default for HotspotConfig {
     }
 }
 
+impl HotspotConfig {
+    /// Lateral cell count (`nx · ny`) the bin-count thresholds are tuned
+    /// at — a 20×20 mesh, the coarse end of the paper's configurations.
+    pub const REFERENCE_MESH_CELLS: usize = 400;
+
+    /// Makes the bin-count threshold resolution-aware: `min_bins` names a
+    /// *die-area* floor at the reference mesh, so on finer meshes (more
+    /// cells per unit area) it scales up by cells-per-reference-cell.
+    /// Without this, a fixed `min_bins` lets single-bin detection noise
+    /// through on fine meshes — slivers whose wrap regions are too thin
+    /// to absorb their hot cells (the ≥ 28×28 wrapper failure). Coarser
+    /// meshes keep the configured value unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use postplace::HotspotConfig;
+    ///
+    /// let config = HotspotConfig::default(); // min_bins = 2 at 20×20
+    /// assert_eq!(config.scaled_for_mesh(16, 16).min_bins, 2);
+    /// assert_eq!(config.scaled_for_mesh(28, 28).min_bins, 4);
+    /// assert_eq!(config.scaled_for_mesh(40, 40).min_bins, 8);
+    /// ```
+    pub fn scaled_for_mesh(&self, nx: usize, ny: usize) -> HotspotConfig {
+        let scale = (nx * ny) as f64 / Self::REFERENCE_MESH_CELLS as f64;
+        HotspotConfig {
+            min_bins: ((self.min_bins as f64 * scale).ceil() as usize).max(self.min_bins),
+            ..*self
+        }
+    }
+}
+
 /// One detected hotspot: a connected set of hot thermal bins.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hotspot {

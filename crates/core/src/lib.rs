@@ -40,6 +40,7 @@
 
 mod eri;
 mod error;
+mod evaluate;
 mod flow;
 mod hotspot;
 mod optimize;
@@ -48,8 +49,11 @@ mod sweep;
 mod uniform;
 mod wrapper;
 
-pub use eri::{empty_row_insertion, EriReport};
+pub use eri::{empty_row_insertion, eri_insertion_positions, eri_power_delta, EriReport};
 pub use error::FlowError;
+pub use evaluate::{
+    CandidateEval, CandidateEvaluator, DeltaCandidateEvaluator, ExactCandidateEvaluator, PowerDelta,
+};
 pub use flow::{Flow, FlowConfig, FlowReport, ThermalModelCache, ThermalSummary, WorkloadSpec};
 pub use hotspot::{
     classify_hotspots, detect_hotspots, split_hotspots_by_regions, Hotspot, HotspotClass,
@@ -58,5 +62,7 @@ pub use hotspot::{
 pub use optimize::{best_strategy_within_budget, minimize_rows_for_target, RowOptimum};
 pub use strategy::Strategy;
 pub use sweep::{default_threads, run_sweep, Scenario, ScenarioResult, SweepGrid, SweepReport};
-pub use uniform::uniform_slack;
-pub use wrapper::{hotspot_wrapper, wrap_regions, WrapperConfig, WrapperReport};
+pub use uniform::{uniform_power_delta, uniform_slack};
+pub use wrapper::{
+    hotspot_wrapper, wrap_regions, wrapper_power_delta, WrapperConfig, WrapperReport,
+};

@@ -7,23 +7,41 @@
 //! ERI transformation reaches a requested peak-temperature reduction, and
 //! [`best_strategy_within_budget`] picks the winning technique under an
 //! area budget — the decisions a designer would otherwise sweep by hand.
+//!
+//! Both loops follow the same two-phase shape: candidates are first
+//! *screened* through a [`crate::DeltaCandidateEvaluator`] — each
+//! candidate priced as a sparse power delta against the memoized
+//! baseline, microseconds-to-milliseconds instead of a full re-place +
+//! re-solve — and only the screened winner is *verified* with exact
+//! [`Flow::run`] evaluations. Reported numbers therefore never come from
+//! the approximation path, and the exactness guarantees (minimality of
+//! the row count, target actually met) are enforced by real runs.
 
-use crate::{Flow, FlowError, FlowReport, Strategy};
+use crate::{CandidateEvaluator, Flow, FlowError, FlowReport, Strategy};
 
 /// Result of a row-count optimization.
 #[derive(Debug, Clone)]
 pub struct RowOptimum {
     /// The smallest row count meeting the target (if any met it).
     pub rows: usize,
-    /// The report at that row count.
+    /// The report at that row count (from an exact run).
     pub report: FlowReport,
-    /// Number of `Flow::run` evaluations spent.
+    /// Number of exact `Flow::run` evaluations spent.
     pub evaluations: usize,
+    /// Number of cheap surrogate screenings spent (delta path).
+    pub screened: usize,
 }
 
 /// Finds the minimum number of inserted empty rows achieving at least
-/// `target_reduction_pct`, by bisection over the row count (reduction is
-/// monotone in the row count to well within solver noise).
+/// `target_reduction_pct` (reduction is monotone in the row count to well
+/// within solver noise).
+///
+/// The row-count axis is first bisected on the delta-screening surrogate
+/// to locate a candidate; the candidate is then verified — and, if the
+/// surrogate was optimistic, grown; if pessimistic, walked down — with
+/// exact [`Flow::run`] evaluations, so the returned optimum carries the
+/// same exact-minimality guarantee as a full exact bisection at a
+/// fraction of the evaluations.
 ///
 /// `max_rows` bounds the search (e.g. the largest acceptable overhead).
 ///
@@ -36,54 +54,120 @@ pub fn minimize_rows_for_target(
     target_reduction_pct: f64,
     max_rows: usize,
 ) -> Result<RowOptimum, FlowError> {
-    // Every `Flow::run` goes through this evaluator so the tally is
-    // auditable on all exit paths; `evaluation_count_is_exact` pins the
-    // exact counts.
-    struct Evaluator<'a> {
-        flow: &'a Flow,
-        evaluations: usize,
-    }
-    impl Evaluator<'_> {
-        fn run(&mut self, rows: usize) -> Result<FlowReport, FlowError> {
-            self.evaluations += 1;
-            self.flow.run(Strategy::EmptyRowInsertion { rows })
-        }
-    }
-    let mut eval = Evaluator {
-        flow,
-        evaluations: 0,
-    };
-    let top = eval.run(max_rows)?;
-    if top.reduction_pct() < target_reduction_pct {
+    if max_rows == 0 {
         return Err(FlowError::BadStrategy {
-            detail: format!(
-                "even {max_rows} rows reach only {:.2}% (< {target_reduction_pct:.2}%)",
-                top.reduction_pct()
-            ),
+            detail: "empty row insertion needs rows > 0".to_string(),
         });
     }
-    let mut lo = 1usize; // smallest candidate
-    let mut hi = max_rows; // known to meet the target
-    let mut best = top;
-    while lo < hi {
-        let mid = (lo + hi) / 2;
-        let report = eval.run(mid)?;
-        if report.reduction_pct() >= target_reduction_pct {
-            hi = mid;
-            best = report;
+    // Phase 1: screen. Bisect the row axis on the surrogate estimate to
+    // get a starting candidate without paying a single re-place.
+    let evaluator = flow.delta_evaluator()?;
+    let mut screened = 0usize;
+    let mut estimate = |rows: usize| -> Result<f64, FlowError> {
+        screened += 1;
+        let delta = flow.strategy_power_delta(Strategy::EmptyRowInsertion { rows })?;
+        Ok(evaluator.evaluate(&delta)?.reduction_pct)
+    };
+    let mut guess = max_rows;
+    if max_rows > 1 && estimate(max_rows)? >= target_reduction_pct {
+        let (mut lo, mut hi) = (1usize, max_rows);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if estimate(mid)? >= target_reduction_pct {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        guess = hi;
+    }
+
+    // Phase 2: verify exactly. Every number reported below comes from a
+    // real `Flow::run`; the surrogate only chose where to start. Memoize
+    // per row count — the grow phase and the closing bisection can land
+    // on the same candidate, and a re-place + re-solve is never free.
+    let mut evaluations = 0usize;
+    let mut memo: std::collections::HashMap<usize, FlowReport> = std::collections::HashMap::new();
+    let mut run = |rows: usize| -> Result<FlowReport, FlowError> {
+        if let Some(report) = memo.get(&rows) {
+            return Ok(report.clone());
+        }
+        evaluations += 1;
+        let report = flow.run(Strategy::EmptyRowInsertion { rows })?;
+        memo.insert(rows, report.clone());
+        Ok(report)
+    };
+    let mut rows = guess;
+    let mut report = run(rows)?;
+    // Surrogate optimism: grow until the target is exactly met (doubling
+    // the distance to the cap bounds this at O(log max_rows) runs).
+    while report.reduction_pct() < target_reduction_pct {
+        if rows >= max_rows {
+            return Err(FlowError::BadStrategy {
+                detail: format!(
+                    "even {max_rows} rows reach only {:.2}% (< {target_reduction_pct:.2}%)",
+                    report.reduction_pct()
+                ),
+            });
+        }
+        rows = (rows + (rows - rows / 2).max(1)).min(max_rows);
+        report = run(rows)?;
+    }
+    // Surrogate pessimism: gallop down to the exact minimum — probe at
+    // exponentially growing distances until the first miss (an accurate
+    // surrogate pays one probe; a poor one O(log) instead of O(rows)),
+    // then close the last gap by exact bisection. Monotonicity makes
+    // the first miss a valid bisection floor.
+    let mut floor = None; // largest row count known to miss the target
+    let mut step = 1usize;
+    while rows > 1 {
+        let probe = rows.saturating_sub(step).max(1);
+        let rep = run(probe)?;
+        if rep.reduction_pct() >= target_reduction_pct {
+            rows = probe;
+            report = rep;
+            step *= 2;
         } else {
-            lo = mid + 1;
+            floor = Some(probe);
+            break;
         }
     }
+    if let Some(miss) = floor {
+        let (mut lo, mut hi) = (miss + 1, rows);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let rep = run(mid)?;
+            if rep.reduction_pct() >= target_reduction_pct {
+                hi = mid;
+                report = rep;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        rows = hi;
+    }
     Ok(RowOptimum {
-        rows: hi,
-        report: best,
-        evaluations: eval.evaluations,
+        rows,
+        report,
+        evaluations,
+        screened,
     })
 }
 
-/// Evaluates all three techniques at an area budget and returns the
+/// How far (in percentage points of reduction) the screening surrogate is
+/// trusted when ranking strategies: an exactly-evaluated leader must beat
+/// the next candidate's *estimate* by this margin before the loop stops
+/// spending exact evaluations on the rest.
+const SCREEN_MARGIN_PCT: f64 = 1.5;
+
+/// Evaluates the three techniques at an area budget and returns the
 /// report with the largest peak-temperature reduction.
+///
+/// Candidates are ranked by the delta-screening surrogate first; exact
+/// [`Flow::run`] evaluations are then spent best-estimate-first and stop
+/// as soon as the confirmed leader outruns every remaining estimate by
+/// a small trust margin — typically one or two exact runs instead of
+/// three. The returned report always comes from an exact run.
 ///
 /// # Errors
 ///
@@ -100,8 +184,22 @@ pub fn best_strategy_within_budget(flow: &Flow, area_budget: f64) -> Result<Flow
             area_overhead: area_budget,
         },
     ];
-    let mut best: Option<FlowReport> = None;
+    // Screen: price every candidate as a power delta on the baseline.
+    let evaluator = flow.delta_evaluator()?;
+    let mut ranked: Vec<(Strategy, f64)> = Vec::with_capacity(candidates.len());
     for strategy in candidates {
+        let delta = flow.strategy_power_delta(strategy)?;
+        ranked.push((strategy, evaluator.evaluate(&delta)?.reduction_pct));
+    }
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    // Verify: exact runs, best estimate first, early-out on a clear win.
+    let mut best: Option<FlowReport> = None;
+    for &(strategy, estimate) in &ranked {
+        if let Some(b) = &best {
+            if b.reduction_pct() >= estimate + SCREEN_MARGIN_PCT {
+                break;
+            }
+        }
         let report = flow.run(strategy)?;
         if report.area_overhead_pct > area_budget * 100.0 + 0.5 {
             continue; // over budget (row quantization)
@@ -122,7 +220,7 @@ mod tests {
     use crate::FlowConfig;
 
     #[test]
-    fn bisection_finds_a_minimal_row_count() {
+    fn screened_bisection_finds_a_minimal_row_count() {
         let flow = Flow::new(FlowConfig::scattered_small().fast()).unwrap();
         let max_rows = flow.base_placement().floorplan.num_rows() / 2;
         // Ask for half of what max_rows achieves; the optimum must be
@@ -132,10 +230,16 @@ mod tests {
             .unwrap();
         let target = top.reduction_pct() / 2.0;
         let opt = minimize_rows_for_target(&flow, target, max_rows).unwrap();
-        assert!(opt.rows < max_rows, "bisection should shrink the rows");
+        assert!(opt.rows < max_rows, "screening should shrink the rows");
         assert!(opt.report.reduction_pct() >= target);
-        // log2(max_rows) + 1 evaluations.
-        assert!(opt.evaluations <= (max_rows as f64).log2() as usize + 3);
+        assert!(opt.screened > 0, "the surrogate must have been consulted");
+        // Screening must not cost more exact runs than the old full
+        // bisection (probe + log2(max_rows) steps).
+        assert!(
+            opt.evaluations <= (max_rows as f64).log2() as usize + 3,
+            "{} exact evaluations",
+            opt.evaluations
+        );
         // One fewer row misses the target (minimality), allowing solver
         // noise of a tenth of a percentage point.
         if opt.rows > 1 {
@@ -147,23 +251,34 @@ mod tests {
     }
 
     #[test]
-    fn evaluation_count_is_exact() {
-        // Bisection over [1, 8] always takes log2(8) = 3 steps on top of
-        // the max_rows probe, whatever the target, so the tally must be
-        // exactly 4 — no undercounting on early target hits.
+    fn trivial_targets_cost_one_exact_evaluation() {
+        // A target every candidate meets screens straight to one row and
+        // needs exactly one exact run to verify it — no bisection spend.
         let flow = Flow::new(FlowConfig::scattered_small().fast()).unwrap();
         let always_met = minimize_rows_for_target(&flow, -100.0, 8).unwrap();
         assert_eq!(always_met.rows, 1, "every candidate meets the target");
-        assert_eq!(always_met.evaluations, 4, "probe + 3 bisection steps");
+        assert_eq!(always_met.evaluations, 1, "screen + single verify");
+        assert!(always_met.screened >= 1);
 
-        let top = flow.run(Strategy::EmptyRowInsertion { rows: 8 }).unwrap();
-        let midway = minimize_rows_for_target(&flow, top.reduction_pct() / 2.0, 8).unwrap();
-        assert_eq!(midway.evaluations, 4, "probe + 3 bisection steps");
-
-        // Degenerate search space: the probe is the only evaluation.
+        // Degenerate search space: the verify is the only evaluation and
+        // nothing is screened.
         let single = minimize_rows_for_target(&flow, -100.0, 1).unwrap();
         assert_eq!(single.rows, 1);
         assert_eq!(single.evaluations, 1);
+    }
+
+    #[test]
+    fn reported_numbers_come_from_exact_runs() {
+        // Whatever the surrogate estimated, the returned report must
+        // bit-match a direct exact evaluation at the same row count.
+        let flow = Flow::new(FlowConfig::scattered_small().fast()).unwrap();
+        let top = flow.run(Strategy::EmptyRowInsertion { rows: 8 }).unwrap();
+        let opt = minimize_rows_for_target(&flow, top.reduction_pct() / 2.0, 8).unwrap();
+        let direct = flow
+            .run(Strategy::EmptyRowInsertion { rows: opt.rows })
+            .unwrap();
+        assert_eq!(opt.report.after.peak_c, direct.after.peak_c);
+        assert_eq!(opt.report.area_overhead_pct, direct.area_overhead_pct);
     }
 
     #[test]

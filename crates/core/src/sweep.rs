@@ -419,6 +419,26 @@ mod tests {
     }
 
     #[test]
+    fn bundled_workload_profiles_cover_both_regimes() {
+        // The sweep's bundled profiles must exercise the two strategy
+        // regimes: a concentrated cluster (wrapper-friendly) and an
+        // alternating spread (ERI-friendly).
+        let clustered = WorkloadSpec::clustered_hotspot();
+        assert_eq!(clustered.active.len(), 3, "the three multipliers");
+        assert!(clustered.toggle_probability > 0.5, "driven hard");
+        let checker = WorkloadSpec::checkerboard();
+        assert_eq!(checker.active.len(), 5, "every other of the nine units");
+        assert_eq!(checker.active[0], arithgen::UnitRole::ALL[0]);
+        assert_eq!(checker.active[4], arithgen::UnitRole::ALL[8]);
+        // Both slot into a sweep grid like any other workload.
+        let grid = SweepGrid::new(FlowConfig::scattered_small().fast())
+            .workload("clustered", clustered)
+            .workload("checkerboard", checker)
+            .row_counts([4]);
+        assert_eq!(grid.scenario_count(), 2);
+    }
+
+    #[test]
     fn empty_grid_returns_an_empty_report() {
         let grid = SweepGrid::new(FlowConfig::scattered_small().fast());
         let report = run_sweep(&grid, 2).unwrap();

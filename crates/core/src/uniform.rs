@@ -6,10 +6,11 @@
 //! circuit." This module implements exactly that: re-place the design at
 //! a relaxed utilization so the same cells spread over a larger core.
 
+use geom::Grid2d;
 use netlist::Netlist;
 use placement::{PlacementResult, Placer, PlacerConfig};
 
-use crate::FlowError;
+use crate::{FlowError, PowerDelta};
 
 /// Re-places `netlist` with `area_overhead` (e.g. `0.161` for +16.1 %)
 /// of extra core area distributed uniformly: the new utilization is
@@ -34,6 +35,26 @@ pub fn uniform_slack(
         ..base_config.clone()
     };
     Ok(Placer::new(relaxed).place(netlist)?)
+}
+
+/// The screening surrogate for a Default (uniform slack) candidate:
+/// spreading the same cells over `1 + area_overhead` times the area
+/// scales every bin's power density by `1/(1 + area_overhead)`, modeled
+/// on the baseline mesh as a uniform scaling of the power map. Being a
+/// pure scaling, a [`crate::DeltaCandidateEvaluator`] prices it in
+/// closed form — no solve at all.
+pub fn uniform_power_delta(power: &Grid2d<f64>, area_overhead: f64) -> PowerDelta {
+    let scale = 1.0 / (1.0 + area_overhead.max(0.0)) - 1.0;
+    let mut deltas = Vec::new();
+    for iy in 0..power.ny() {
+        for ix in 0..power.nx() {
+            let p = *power.get(ix, iy);
+            if p > 0.0 && scale != 0.0 {
+                deltas.push((ix, iy, p * scale));
+            }
+        }
+    }
+    PowerDelta::new(deltas)
 }
 
 #[cfg(test)]

@@ -7,13 +7,13 @@
 //! hotspot outside the wrapper and uniformly distribute the remaining
 //! cells in the wrapper area."
 
-use geom::Rect;
+use geom::{Grid2d, Rect};
 use netlist::{CellId, Netlist};
 use placement::{fill_whitespace, nearest_slot_outside, squeeze_into_row, Floorplan, Placement};
 use powerest::PowerReport;
 use serde::{Deserialize, Serialize};
 
-use crate::{FlowError, Hotspot};
+use crate::{FlowError, Hotspot, PowerDelta};
 
 /// Hotspot-wrapper parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,6 +120,46 @@ pub fn wrap_regions(
         }
     }
     regions
+}
+
+/// The screening surrogate for a Hotspot Wrapper candidate: the paper's
+/// HW starts from the Default solution at `area_overhead` (a uniform
+/// density dilution, `1/(1 + overhead)` on every bin) and then re-spreads
+/// each wrapped hotspot's power evenly over its grown region. Modeled on
+/// the baseline mesh: all bins scale down uniformly, then the power of
+/// the bins inside each wrap `region` is pooled and flattened across
+/// them. Sparse (only wrapped bins deviate from the uniform scaling), so
+/// a [`crate::DeltaCandidateEvaluator`] prices it by superposition.
+pub fn wrapper_power_delta(
+    power: &Grid2d<f64>,
+    regions: &[Rect],
+    area_overhead: f64,
+) -> PowerDelta {
+    let dilute = 1.0 / (1.0 + area_overhead.max(0.0));
+    let mut new_map = power.clone();
+    for value in new_map.values_mut() {
+        *value *= dilute;
+    }
+    for region in regions {
+        let mut bins = Vec::new();
+        let mut pooled = 0.0;
+        for iy in 0..power.ny() {
+            for ix in 0..power.nx() {
+                if region.contains(power.bin_rect(ix, iy).center()) {
+                    pooled += *new_map.get(ix, iy);
+                    bins.push((ix, iy));
+                }
+            }
+        }
+        if bins.is_empty() {
+            continue;
+        }
+        let flat = pooled / bins.len() as f64;
+        for (ix, iy) in bins {
+            *new_map.get_mut(ix, iy) = flat;
+        }
+    }
+    PowerDelta::between(power, &new_map, 1e-15)
 }
 
 /// What a wrapper transformation did.

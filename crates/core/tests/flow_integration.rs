@@ -1,6 +1,38 @@
 //! End-to-end flow tests on the fast (scaled-down) configuration.
 
 use postplace::{classify_hotspots, detect_hotspots, Flow, FlowConfig, HotspotClass, Strategy};
+use thermalsim::ThermalConfig;
+
+/// Regression: `Strategy::HotspotWrapper` used to fail with "wrapped
+/// region could not absorb its hot cells" at meshes ≥ 28×28 — fixed
+/// detection thresholds let sliver hotspots through on fine meshes,
+/// producing wrap regions a single row tall. Resolution-aware scaling
+/// (`HotspotConfig::scaled_for_mesh`) must keep the wrapper working and
+/// its reduction in family with the coarse-mesh result.
+#[test]
+fn hotspot_wrapper_survives_fine_meshes() {
+    let mut reductions = Vec::new();
+    for n in [28usize, 32] {
+        let mut config = FlowConfig::scattered_small().fast();
+        config.thermal = ThermalConfig::with_resolution(n, n);
+        let flow = Flow::new(config).unwrap();
+        let report = flow
+            .run(Strategy::HotspotWrapper {
+                area_overhead: 0.16,
+            })
+            .unwrap_or_else(|e| panic!("wrapper failed at {n}x{n}: {e}"));
+        assert!(
+            report.reduction_pct() > 5.0,
+            "{n}x{n}: wrapper reduction collapsed to {:.2}%",
+            report.reduction_pct()
+        );
+        reductions.push(report.reduction_pct());
+    }
+    assert!(
+        (reductions[0] - reductions[1]).abs() < 3.0,
+        "mesh refinement changed the wrapper physics: {reductions:?}"
+    );
+}
 
 fn fast_scattered() -> Flow {
     Flow::new(FlowConfig::scattered_small().fast()).expect("flow builds")

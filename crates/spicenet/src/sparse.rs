@@ -119,6 +119,29 @@ impl CsrMatrix {
         }
     }
 
+    /// `Y = A·X` for a block of `k` vectors stored node-major
+    /// (`x[i*k + j]` is entry `i` of vector `j`). One traversal of the
+    /// matrix serves the whole block, which is what lets the multi-RHS
+    /// solver amortize memory traffic across a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block sizes do not match `n·k`.
+    pub fn mul_block_into(&self, x: &[f64], y: &mut [f64], k: usize) {
+        assert_eq!(x.len(), self.n * k, "dimension mismatch");
+        assert_eq!(y.len(), self.n * k, "dimension mismatch");
+        for (r, yr) in y.chunks_exact_mut(k).enumerate() {
+            yr.fill(0.0);
+            for idx in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let v = self.values[idx];
+                let xc = &x[self.col_idx[idx] * k..self.col_idx[idx] * k + k];
+                for (yj, xj) in yr.iter_mut().zip(xc) {
+                    *yj += v * xj;
+                }
+            }
+        }
+    }
+
     /// The main diagonal (zeros where unstored).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.n];
@@ -337,6 +360,50 @@ impl IncompleteCholesky {
         })
     }
 
+    /// Applies the preconditioner to a node-major block of `k` residuals:
+    /// one forward/backward triangular sweep over the factor serves every
+    /// vector of the block — the sweep cost (pointer chasing through `L`)
+    /// is paid once instead of `k` times.
+    pub(crate) fn apply_block_into(&self, r: &[f64], z: &mut [f64], k: usize) {
+        debug_assert_eq!(r.len(), self.n * k);
+        debug_assert_eq!(z.len(), self.n * k);
+        // Forward: L·y = r, overwriting z with y.
+        for i in 0..self.n {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let (head, tail) = z.split_at_mut(i * k);
+            let zi = &mut tail[..k];
+            zi.copy_from_slice(&r[i * k..i * k + k]);
+            for idx in lo..hi - 1 {
+                let v = self.values[idx];
+                let zc = &head[self.col_idx[idx] * k..self.col_idx[idx] * k + k];
+                for (zj, cj) in zi.iter_mut().zip(zc) {
+                    *zj -= v * cj;
+                }
+            }
+            let d = self.values[hi - 1];
+            for zj in zi.iter_mut() {
+                *zj /= d;
+            }
+        }
+        // Backward: Lᵀ·z = y, scattering column-wise over the rows of L.
+        for i in (0..self.n).rev() {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let (head, tail) = z.split_at_mut(i * k);
+            let zi = &mut tail[..k];
+            let d = self.values[hi - 1];
+            for zj in zi.iter_mut() {
+                *zj /= d;
+            }
+            for idx in lo..hi - 1 {
+                let v = self.values[idx];
+                let zc = &mut head[self.col_idx[idx] * k..self.col_idx[idx] * k + k];
+                for (cj, zj) in zc.iter_mut().zip(&*zi) {
+                    *cj -= v * zj;
+                }
+            }
+        }
+    }
+
     /// Applies the preconditioner: solves `L·Lᵀ·z = r` into `z`.
     pub(crate) fn apply_into(&self, r: &[f64], z: &mut [f64]) {
         debug_assert_eq!(r.len(), self.n);
@@ -399,6 +466,19 @@ impl Preconditioner {
                 }
             }
             Preconditioner::Ic0(ic) => ic.apply_into(r, z),
+        }
+    }
+
+    fn apply_block_into(&self, r: &[f64], z: &mut [f64], k: usize) {
+        match self {
+            Preconditioner::Jacobi(minv) => {
+                for (i, (zi, ri)) in z.chunks_exact_mut(k).zip(r.chunks_exact(k)).enumerate() {
+                    for (zj, rj) in zi.iter_mut().zip(ri) {
+                        *zj = rj * minv[i];
+                    }
+                }
+            }
+            Preconditioner::Ic0(ic) => ic.apply_block_into(r, z, k),
         }
     }
 }
@@ -476,6 +556,140 @@ pub(crate) fn preconditioned_cg(
     }
     let norm_r = r.iter().map(|v| v * v).sum::<f64>().sqrt();
     Err((max_iter, norm_r / norm_b))
+}
+
+/// A solved RHS block plus per-system `(iterations, relative_residual)`
+/// diagnostics, as produced by [`preconditioned_cg_block`].
+pub(crate) type BlockSolution = (Vec<f64>, Vec<(usize, f64)>);
+
+/// Conjugate gradients over a block of `k` independent right-hand sides
+/// sharing one matrix and one preconditioner, iterated in lockstep.
+///
+/// The systems stay mathematically independent — each keeps its own
+/// `α`/`β`/residual — but every iteration performs **one** blocked
+/// matvec and **one** blocked triangular sweep for the whole batch, so
+/// the matrix and the incomplete-Cholesky factor are streamed through
+/// memory once per iteration instead of `k` times. Converged systems are
+/// frozen (their updates zeroed) while the rest keep iterating.
+///
+/// `b` is node-major (`b[i*k + j]` = entry `i` of RHS `j`). Returns the
+/// solution block in the same layout plus per-system `(iterations,
+/// relative_residual)` diagnostics.
+///
+/// # Errors
+///
+/// Returns `(iterations, residual)` of the worst offender if the matrix
+/// turns out indefinite or any system misses `tol` within `max_iter`.
+pub(crate) fn preconditioned_cg_block(
+    a: &CsrMatrix,
+    b: &[f64],
+    k: usize,
+    tol: f64,
+    max_iter: usize,
+    precond: &Preconditioner,
+) -> Result<BlockSolution, (usize, f64)> {
+    let n = a.n();
+    assert_eq!(b.len(), n * k, "dimension mismatch");
+    let mut stats = vec![(0usize, 0.0f64); k];
+    if k == 0 {
+        return Ok((Vec::new(), stats));
+    }
+    let mut norm_b = vec![0.0f64; k];
+    for row in b.chunks_exact(k) {
+        for (nb, bj) in norm_b.iter_mut().zip(row) {
+            *nb += bj * bj;
+        }
+    }
+    for nb in &mut norm_b {
+        *nb = nb.sqrt();
+    }
+    let mut x = vec![0.0f64; n * k];
+    // Zero RHS converges immediately; everything else is active.
+    let mut active: Vec<bool> = norm_b.iter().map(|&nb| nb > 0.0).collect();
+    if active.iter().all(|a| !a) {
+        return Ok((x, stats));
+    }
+    let mut r = b.to_vec();
+    let mut z = vec![0.0f64; n * k];
+    precond.apply_block_into(&r, &mut z, k);
+    let mut p = z.clone();
+    let mut ap = vec![0.0f64; n * k];
+    let mut rz = vec![0.0f64; k];
+    for (ri, zi) in r.chunks_exact(k).zip(z.chunks_exact(k)) {
+        for ((rzj, rj), zj) in rz.iter_mut().zip(ri).zip(zi) {
+            *rzj += rj * zj;
+        }
+    }
+    let mut pap = vec![0.0f64; k];
+    let mut alpha = vec![0.0f64; k];
+    let mut norm_r = vec![0.0f64; k];
+    for it in 0..max_iter {
+        a.mul_block_into(&p, &mut ap, k);
+        pap.fill(0.0);
+        for (pi, api) in p.chunks_exact(k).zip(ap.chunks_exact(k)) {
+            for ((pj, aj), acc) in pi.iter().zip(api).zip(pap.iter_mut()) {
+                *acc += pj * aj;
+            }
+        }
+        for j in 0..k {
+            if active[j] && pap[j] <= 0.0 {
+                // Not SPD (or numerically singular).
+                return Err((it, f64::INFINITY));
+            }
+            alpha[j] = if active[j] { rz[j] / pap[j] } else { 0.0 };
+        }
+        norm_r.fill(0.0);
+        for ((xi, ri), (pi, api)) in x
+            .chunks_exact_mut(k)
+            .zip(r.chunks_exact_mut(k))
+            .zip(p.chunks_exact(k).zip(ap.chunks_exact(k)))
+        {
+            for j in 0..k {
+                xi[j] += alpha[j] * pi[j];
+                ri[j] -= alpha[j] * api[j];
+                norm_r[j] += ri[j] * ri[j];
+            }
+        }
+        let mut any_active = false;
+        for j in 0..k {
+            if !active[j] {
+                continue;
+            }
+            let rel = norm_r[j].sqrt() / norm_b[j];
+            stats[j] = (it + 1, rel);
+            if rel < tol {
+                active[j] = false;
+            } else {
+                any_active = true;
+            }
+        }
+        if !any_active {
+            return Ok((x, stats));
+        }
+        precond.apply_block_into(&r, &mut z, k);
+        let mut rz_new = vec![0.0f64; k];
+        for (ri, zi) in r.chunks_exact(k).zip(z.chunks_exact(k)) {
+            for ((acc, rj), zj) in rz_new.iter_mut().zip(ri).zip(zi) {
+                *acc += rj * zj;
+            }
+        }
+        for (pi, zi) in p.chunks_exact_mut(k).zip(z.chunks_exact(k)) {
+            for j in 0..k {
+                if active[j] {
+                    let beta = rz_new[j] / rz[j];
+                    pi[j] = zi[j] + beta * pi[j];
+                }
+            }
+        }
+        rz = rz_new;
+    }
+    let worst = stats
+        .iter()
+        .zip(&active)
+        .filter(|(_, live)| **live)
+        .map(|((_, res), _)| *res)
+        .fold(0.0f64, f64::max);
+    Err((max_iter, worst))
 }
 
 #[cfg(test)]
@@ -579,6 +793,77 @@ mod tests {
         let ax = a.mul_vec(&x);
         for i in 0..n {
             assert!((ax[i] - b[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn block_cg_matches_sequential_solves() {
+        let n = 120;
+        let a = laplacian_chain(n);
+        let precond = Preconditioner::best(&a);
+        // Four RHS, one of them zero (must freeze at iteration 0).
+        let mut singles: Vec<Vec<f64>> = Vec::new();
+        for j in 0..4 {
+            let mut b = vec![0.0; n];
+            if j > 0 {
+                b[j * 17 % n] = 1.0 + j as f64;
+                b[(j * 31 + 5) % n] = -0.5 * j as f64;
+            }
+            singles.push(b);
+        }
+        let k = singles.len();
+        let mut block = vec![0.0; n * k];
+        for (j, b) in singles.iter().enumerate() {
+            for i in 0..n {
+                block[i * k + j] = b[i];
+            }
+        }
+        let (x, stats) = preconditioned_cg_block(&a, &block, k, 1e-11, 10 * n, &precond).unwrap();
+        assert_eq!(stats[0], (0, 0.0), "zero RHS converges instantly");
+        for (j, b) in singles.iter().enumerate() {
+            let (want, _, _) = preconditioned_cg(&a, b, 1e-11, 10 * n, &precond).unwrap();
+            for i in 0..n {
+                assert!(
+                    (x[i * k + j] - want[i]).abs() < 1e-8,
+                    "system {j} row {i}: {} vs {}",
+                    x[i * k + j],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_matvec_and_sweep_match_single() {
+        let n = 60;
+        let a = laplacian_chain(n);
+        let ic = IncompleteCholesky::factor(&a).unwrap();
+        let k = 3;
+        let mut block = vec![0.0; n * k];
+        let singles: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                (0..n)
+                    .map(|i| ((i * 7 + j * 13) % 10) as f64 - 4.5)
+                    .collect()
+            })
+            .collect();
+        for (j, s) in singles.iter().enumerate() {
+            for i in 0..n {
+                block[i * k + j] = s[i];
+            }
+        }
+        let mut y_block = vec![0.0; n * k];
+        a.mul_block_into(&block, &mut y_block, k);
+        let mut z_block = vec![0.0; n * k];
+        ic.apply_block_into(&block, &mut z_block, k);
+        for (j, s) in singles.iter().enumerate() {
+            let y = a.mul_vec(s);
+            let mut z = vec![0.0; n];
+            ic.apply_into(s, &mut z);
+            for i in 0..n {
+                assert!((y_block[i * k + j] - y[i]).abs() < 1e-12);
+                assert!((z_block[i * k + j] - z[i]).abs() < 1e-12);
+            }
         }
     }
 

@@ -1,0 +1,619 @@
+//! Incremental (delta) thermal evaluation by Green's-function
+//! superposition.
+//!
+//! The thermal network is linear: if `G·T = p` is the baseline solve,
+//! then perturbing the power map by a sparse `Δp` changes the field by
+//! `ΔT = G⁻¹·Δp = Σ_c Δp_c · column_c(G⁻¹)` — no re-solve required once
+//! the *influence columns* of the perturbed cells are known. A
+//! [`DeltaThermalModel`] memoizes the baseline field and lazily
+//! materializes influence columns (each one blocked-solve of a unit
+//! injection, see [`spicenet::FactorizedCircuit::influence_columns`])
+//! into a bounded LRU cache; evaluating a candidate then costs
+//! `O(k · nx · ny)` flops for a `k`-cell perturbation — microseconds
+//! against the ~tens of milliseconds of a preconditioned re-solve.
+//!
+//! When a perturbation is too dense for superposition to win (many cells
+//! whose columns are not cached yet), the model transparently falls back
+//! to one exact re-solve of the perturbed power map, so every evaluation
+//! is correct regardless of cache state — only the cost varies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use geom::Grid2d;
+
+use crate::{FactorizedThermalModel, GridSpec, ThermalError, ThermalMap};
+
+/// How many influence columns are materialized per blocked solve. Bounds
+/// the working set of the block CG (5 vectors of `n·k` doubles, ~18 MB at
+/// 40×40×9) while keeping enough width for the triangular sweeps to
+/// amortize.
+const COLUMN_BATCH: usize = 32;
+
+/// Relative tolerance of influence-column solves. Columns weight small
+/// power *corrections* on top of a fully-converged baseline, so a
+/// `1e-6`-relative column error contributes microkelvin to ΔT — orders
+/// of magnitude under the 0.05 K acceptance bound pinned by the drift
+/// property test — while cutting roughly a third of the CG iterations
+/// per column.
+const COLUMN_TOLERANCE: f64 = 1e-6;
+
+/// One cached influence column: the active-layer response (kelvin per
+/// watt) to a unit injection, plus its LRU stamp.
+struct CachedColumn {
+    stamp: u64,
+    /// Response at every active-layer cell, `iy * nx + ix` order.
+    /// Shared (`Arc`) so the superposition loop can run outside the
+    /// cache lock while eviction stays free to drop the cache entry.
+    response: Arc<Vec<f64>>,
+}
+
+/// The lazily-populated, memory-bounded influence-column store.
+struct ColumnCache {
+    columns: HashMap<usize, CachedColumn>,
+    clock: u64,
+}
+
+/// The outcome of one [`DeltaThermalModel::evaluate_delta`] call.
+#[derive(Debug, Clone)]
+pub struct DeltaEvaluation {
+    /// The perturbed active-layer field (absolute °C).
+    pub map: ThermalMap,
+    /// `true` when the evaluation fell back to a full re-solve instead
+    /// of superposing cached influence columns.
+    pub exact: bool,
+}
+
+/// A [`FactorizedThermalModel`] wrapped with a memoized baseline field
+/// and an influence-column cache, turning sparse power-map perturbations
+/// into superposition updates instead of full re-solves.
+///
+/// The model is `Send + Sync`: warm-cache evaluations superpose outside
+/// the cache lock, so concurrent screeners make parallel progress. Cache
+/// *misses* materialize their columns while holding the lock — by
+/// design, so two threads never duplicate the same column solve — which
+/// briefly serializes concurrent callers while the working set is still
+/// warming up (pre-populate with [`DeltaThermalModel::warm_columns`] to
+/// avoid it).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use geom::{Grid2d, Rect};
+/// use thermalsim::{DeltaThermalModel, FactorizedThermalModel, ThermalConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let die = Rect::new(0.0, 0.0, 300.0, 300.0);
+/// let model = Arc::new(FactorizedThermalModel::build(
+///     &ThermalConfig::with_resolution(8, 8),
+///     die,
+/// )?);
+/// let mut power = Grid2d::new(8, 8, die, 0.0);
+/// *power.get_mut(4, 4) = 1e-3;
+/// let delta = DeltaThermalModel::new(Arc::clone(&model), &power)?;
+/// // Move a third of the hotspot's power one cell over: two influence
+/// // columns, no re-solve.
+/// let moved = delta.evaluate_delta(&[(4, 4, -0.3e-3), (5, 4, 0.3e-3)])?;
+/// assert!(!moved.exact);
+/// assert!(moved.map.peak_rise() < delta.baseline().peak_rise());
+/// // The exact path sees the same physics.
+/// *power.get_mut(4, 4) = 0.7e-3;
+/// *power.get_mut(5, 4) = 0.3e-3;
+/// let fresh = model.solve(&power)?;
+/// assert!((fresh.peak_rise() - moved.map.peak_rise()).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DeltaThermalModel {
+    model: Arc<FactorizedThermalModel>,
+    baseline_power: Grid2d<f64>,
+    baseline: ThermalMap,
+    cache: Mutex<ColumnCache>,
+    /// Cached columns kept at most (LRU eviction beyond this).
+    column_capacity: usize,
+    /// Perturbations needing more than this many *uncached* columns fall
+    /// back to one exact re-solve instead of populating the cache.
+    max_new_columns: usize,
+    superposed: AtomicUsize,
+    fallbacks: AtomicUsize,
+}
+
+impl std::fmt::Debug for DeltaThermalModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaThermalModel")
+            .field("model", &self.model)
+            .field("cached_columns", &self.cached_columns())
+            .field("column_capacity", &self.column_capacity)
+            .field("max_new_columns", &self.max_new_columns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeltaThermalModel {
+    /// Default bound on cached influence columns (a 40×40 mesh column is
+    /// ~12.8 KB, so the cache tops out around 13 MB).
+    pub const DEFAULT_COLUMN_CAPACITY: usize = 1024;
+
+    /// Default densest perturbation served by superposition when its
+    /// columns are not cached yet: populating more columns than this per
+    /// evaluation costs more than the one exact re-solve it replaces.
+    pub const DEFAULT_MAX_NEW_COLUMNS: usize = 32;
+
+    /// Wraps `model` around a baseline power map, solving the baseline
+    /// field once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerGridMismatch`] /
+    /// [`ThermalError::InvalidPower`] for a bad power map and
+    /// [`ThermalError::Solve`] if the baseline solve fails.
+    pub fn new(
+        model: Arc<FactorizedThermalModel>,
+        baseline_power: &Grid2d<f64>,
+    ) -> Result<Self, ThermalError> {
+        Self::with_limits(
+            model,
+            baseline_power,
+            Self::DEFAULT_COLUMN_CAPACITY,
+            Self::DEFAULT_MAX_NEW_COLUMNS,
+        )
+    }
+
+    /// Like [`DeltaThermalModel::new`] with explicit cache bounds:
+    /// `column_capacity` caps the LRU column store and `max_new_columns`
+    /// caps how many columns one evaluation may materialize before the
+    /// model prefers an exact re-solve.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DeltaThermalModel::new`].
+    pub fn with_limits(
+        model: Arc<FactorizedThermalModel>,
+        baseline_power: &Grid2d<f64>,
+        column_capacity: usize,
+        max_new_columns: usize,
+    ) -> Result<Self, ThermalError> {
+        let baseline = model.solve(baseline_power)?;
+        Self::assemble(
+            model,
+            baseline_power,
+            baseline,
+            column_capacity,
+            max_new_columns,
+        )
+    }
+
+    /// Like [`DeltaThermalModel::new`] with the baseline field already
+    /// solved (e.g. a flow's memoized baseline analysis) — no extra
+    /// solve is spent. The baseline map must match the model's mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerGridMismatch`] when the power map or
+    /// the baseline field does not match the model's resolution, and
+    /// [`ThermalError::InvalidPower`] for a bad power map.
+    pub fn with_baseline(
+        model: Arc<FactorizedThermalModel>,
+        baseline_power: &Grid2d<f64>,
+        baseline: ThermalMap,
+    ) -> Result<Self, ThermalError> {
+        Self::assemble(
+            model,
+            baseline_power,
+            baseline,
+            Self::DEFAULT_COLUMN_CAPACITY,
+            Self::DEFAULT_MAX_NEW_COLUMNS,
+        )
+    }
+
+    fn assemble(
+        model: Arc<FactorizedThermalModel>,
+        baseline_power: &Grid2d<f64>,
+        baseline: ThermalMap,
+        column_capacity: usize,
+        max_new_columns: usize,
+    ) -> Result<Self, ThermalError> {
+        let GridSpec { nx, ny } = model.config().grid;
+        crate::network::validate_power(nx, ny, baseline_power)?;
+        if baseline.grid().nx() != nx || baseline.grid().ny() != ny {
+            return Err(ThermalError::PowerGridMismatch {
+                expected: (nx, ny),
+                got: (baseline.grid().nx(), baseline.grid().ny()),
+            });
+        }
+        Ok(DeltaThermalModel {
+            model,
+            baseline_power: baseline_power.clone(),
+            baseline,
+            cache: Mutex::new(ColumnCache {
+                columns: HashMap::new(),
+                clock: 0,
+            }),
+            column_capacity: column_capacity.max(1),
+            max_new_columns: max_new_columns.min(column_capacity.max(1)),
+            superposed: AtomicUsize::new(0),
+            fallbacks: AtomicUsize::new(0),
+        })
+    }
+
+    /// The wrapped factorized model.
+    pub fn model(&self) -> &Arc<FactorizedThermalModel> {
+        &self.model
+    }
+
+    /// The baseline field all deltas are measured against.
+    pub fn baseline(&self) -> &ThermalMap {
+        &self.baseline
+    }
+
+    /// The baseline power map (watts per thermal bin).
+    pub fn baseline_power(&self) -> &Grid2d<f64> {
+        &self.baseline_power
+    }
+
+    /// Influence columns currently cached.
+    pub fn cached_columns(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("column cache poisoned")
+            .columns
+            .len()
+    }
+
+    /// Evaluations served by superposition so far.
+    pub fn superposed_evaluations(&self) -> usize {
+        self.superposed.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations that fell back to an exact re-solve so far.
+    pub fn exact_fallbacks(&self) -> usize {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Evaluates the field for `baseline power + deltas`, where each
+    /// delta entry `(ix, iy, Δwatts)` perturbs one active-layer cell
+    /// (entries for the same cell accumulate). Sparse perturbations are
+    /// served by influence-column superposition; dense ones (more than
+    /// the configured number of uncached columns) fall back to one exact
+    /// re-solve. Either way the returned field is exact to within solver
+    /// tolerance — see the drift property test pinning this against a
+    /// fresh [`crate::ThermalSimulator::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidPower`] when a perturbed cell's
+    /// total power would go negative (or a delta is non-finite / out of
+    /// range) and [`ThermalError::Solve`] if a column or fallback solve
+    /// fails.
+    pub fn evaluate_delta(
+        &self,
+        deltas: &[(usize, usize, f64)],
+    ) -> Result<DeltaEvaluation, ThermalError> {
+        let GridSpec { nx, ny } = self.model.config().grid;
+        // Merge duplicate cells and validate the perturbed power map.
+        let mut merged: HashMap<usize, f64> = HashMap::with_capacity(deltas.len());
+        for &(ix, iy, dw) in deltas {
+            if ix >= nx || iy >= ny || !dw.is_finite() {
+                return Err(ThermalError::InvalidPower {
+                    bin: (ix, iy),
+                    watts: dw,
+                });
+            }
+            *merged.entry(iy * nx + ix).or_insert(0.0) += dw;
+        }
+        let mut cells: Vec<(usize, f64)> = Vec::with_capacity(merged.len());
+        for (cell, dw) in merged {
+            let total = self.baseline_power.get(cell % nx, cell / nx) + dw;
+            if total < -1e-9 {
+                return Err(ThermalError::InvalidPower {
+                    bin: (cell % nx, cell / nx),
+                    watts: total,
+                });
+            }
+            if dw != 0.0 {
+                cells.push((cell, dw));
+            }
+        }
+        cells.sort_unstable_by_key(|&(cell, _)| cell);
+
+        if let Some(map) = self.try_superpose(&cells)? {
+            self.superposed.fetch_add(1, Ordering::Relaxed);
+            return Ok(DeltaEvaluation { map, exact: false });
+        }
+        // Dense perturbation: one exact re-solve of the perturbed map.
+        let mut power = self.baseline_power.clone();
+        for &(cell, dw) in &cells {
+            let slot = power.get_mut(cell % nx, cell / nx);
+            *slot = (*slot + dw).max(0.0);
+        }
+        let map = self.model.solve(&power)?;
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        Ok(DeltaEvaluation { map, exact: true })
+    }
+
+    /// Pre-materializes influence columns for `cells` (active-layer bin
+    /// coordinates) in full-width blocked solves, returning how many
+    /// were newly solved. Call ahead of a screening loop whose candidate
+    /// support is known — the bins of the hotspots a strategy may touch
+    /// — so no evaluation pays a narrow, poorly-amortized population
+    /// block; the triangular sweeps then amortize across the whole set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidPower`] for an out-of-range cell
+    /// and [`ThermalError::Solve`] if a column solve fails.
+    pub fn warm_columns(&self, cells: &[(usize, usize)]) -> Result<usize, ThermalError> {
+        let GridSpec { nx, ny } = self.model.config().grid;
+        let mut wanted = Vec::with_capacity(cells.len());
+        for &(ix, iy) in cells {
+            if ix >= nx || iy >= ny {
+                return Err(ThermalError::InvalidPower {
+                    bin: (ix, iy),
+                    watts: 0.0,
+                });
+            }
+            wanted.push(iy * nx + ix);
+        }
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut cache = self.cache.lock().expect("column cache poisoned");
+        let missing: Vec<usize> = wanted
+            .into_iter()
+            .filter(|cell| !cache.columns.contains_key(cell))
+            .collect();
+        let solved = missing.len();
+        self.materialize(&mut cache, &missing)?;
+        self.evict_over_capacity(&mut cache);
+        Ok(solved)
+    }
+
+    /// Solves and caches the influence columns of `cells` (assumed
+    /// uncached), in blocked batches.
+    fn materialize(&self, cache: &mut ColumnCache, cells: &[usize]) -> Result<(), ThermalError> {
+        for chunk in cells.chunks(COLUMN_BATCH) {
+            let nodes: Vec<_> = chunk
+                .iter()
+                .map(|&cell| self.model.active_nodes()[cell])
+                .collect();
+            let columns = self
+                .model
+                .factored()
+                .influence_columns_with(&nodes, COLUMN_TOLERANCE.max(self.model.config().tolerance))
+                .map_err(ThermalError::Solve)?;
+            for (&cell, full) in chunk.iter().zip(&columns) {
+                let response: Vec<f64> = self
+                    .model
+                    .active_nodes()
+                    .iter()
+                    .map(|node| full[node.index()])
+                    .collect();
+                cache.clock += 1;
+                let stamp = cache.clock;
+                cache.columns.insert(
+                    cell,
+                    CachedColumn {
+                        stamp,
+                        response: Arc::new(response),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Evicts beyond capacity, oldest stamp first.
+    fn evict_over_capacity(&self, cache: &mut ColumnCache) {
+        while cache.columns.len() > self.column_capacity {
+            let oldest = cache
+                .columns
+                .iter()
+                .min_by_key(|(_, c)| c.stamp)
+                .map(|(&cell, _)| cell)
+                .expect("non-empty over-capacity cache");
+            cache.columns.remove(&oldest);
+        }
+    }
+
+    /// Superposes cached (and, within budget, freshly materialized)
+    /// influence columns; `None` means the perturbation is too dense and
+    /// the caller should re-solve exactly.
+    fn try_superpose(&self, cells: &[(usize, f64)]) -> Result<Option<ThermalMap>, ThermalError> {
+        let mut cache = self.cache.lock().expect("column cache poisoned");
+        let missing: Vec<usize> = cells
+            .iter()
+            .map(|&(cell, _)| cell)
+            .filter(|cell| !cache.columns.contains_key(cell))
+            .collect();
+        if missing.len() > self.max_new_columns || cells.len() > self.column_capacity {
+            return Ok(None);
+        }
+        // Misses are materialized under the lock so concurrent threads
+        // never duplicate a column solve (see the type-level docs).
+        self.materialize(&mut cache, &missing)?;
+        // Grab (weight, column) pairs, then release the lock — the
+        // O(k · nx · ny) superposition runs unlocked so concurrent
+        // warm-cache screeners make parallel progress.
+        let weighted: Vec<(f64, Arc<Vec<f64>>)> = cells
+            .iter()
+            .map(|&(cell, dw)| {
+                cache.clock += 1;
+                let stamp = cache.clock;
+                let column = cache.columns.get_mut(&cell).expect("column just ensured");
+                column.stamp = stamp;
+                (dw, Arc::clone(&column.response))
+            })
+            .collect();
+        self.evict_over_capacity(&mut cache);
+        drop(cache);
+        let mut grid = self.baseline.grid().clone();
+        for (dw, column) in weighted {
+            for (value, response) in grid.values_mut().iter_mut().zip(column.iter()) {
+                *value += dw * response;
+            }
+        }
+        Ok(Some(ThermalMap::new(grid, self.baseline.ambient_c())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThermalConfig, ThermalSimulator};
+    use geom::Rect;
+
+    fn die() -> Rect {
+        Rect::new(0.0, 0.0, 335.0, 335.0)
+    }
+
+    fn setup(nx: usize, ny: usize) -> (Arc<FactorizedThermalModel>, Grid2d<f64>) {
+        let config = ThermalConfig::with_resolution(nx, ny);
+        let model = Arc::new(FactorizedThermalModel::build(&config, die()).unwrap());
+        let mut power = Grid2d::new(nx, ny, die(), 0.0);
+        *power.get_mut(nx / 2, ny / 2) = 2e-3;
+        *power.get_mut(1, 1) = 5e-4;
+        (model, power)
+    }
+
+    #[test]
+    fn sparse_delta_matches_exact_resolve() {
+        let (model, power) = setup(10, 10);
+        let delta = DeltaThermalModel::new(Arc::clone(&model), &power).unwrap();
+        let moves = [(5usize, 5usize, -1e-3), (7, 2, 1e-3), (1, 1, 2e-4)];
+        let got = delta.evaluate_delta(&moves).unwrap();
+        assert!(!got.exact, "3-cell delta must superpose");
+        let mut perturbed = power.clone();
+        for &(ix, iy, dw) in &moves {
+            *perturbed.get_mut(ix, iy) += dw;
+        }
+        let want = model.solve(&perturbed).unwrap();
+        for ((_, a), (_, b)) in got.map.grid().iter().zip(want.grid().iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert_eq!(delta.superposed_evaluations(), 1);
+        assert_eq!(delta.exact_fallbacks(), 0);
+        assert_eq!(delta.cached_columns(), 3);
+    }
+
+    #[test]
+    fn empty_delta_reproduces_the_baseline() {
+        let (model, power) = setup(8, 8);
+        let delta = DeltaThermalModel::new(model, &power).unwrap();
+        let got = delta.evaluate_delta(&[]).unwrap();
+        assert_eq!(got.map.grid(), delta.baseline().grid());
+    }
+
+    #[test]
+    fn duplicate_cells_accumulate() {
+        let (model, power) = setup(8, 8);
+        let delta = DeltaThermalModel::new(Arc::clone(&model), &power).unwrap();
+        let once = delta.evaluate_delta(&[(4, 4, -1e-3)]).unwrap();
+        let split = delta
+            .evaluate_delta(&[(4, 4, -4e-4), (4, 4, -6e-4)])
+            .unwrap();
+        for ((_, a), (_, b)) in once.map.grid().iter().zip(split.map.grid().iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_delta_falls_back_to_exact() {
+        let (model, power) = setup(8, 8);
+        let delta = DeltaThermalModel::with_limits(Arc::clone(&model), &power, 64, 2).unwrap();
+        // 9 perturbed cells > max_new_columns = 2 → exact fallback.
+        let moves: Vec<(usize, usize, f64)> =
+            (0..9).map(|i| (i % 3 + 2, i / 3 + 2, 1e-4)).collect();
+        let got = delta.evaluate_delta(&moves).unwrap();
+        assert!(got.exact);
+        assert_eq!(delta.exact_fallbacks(), 1);
+        let mut perturbed = power.clone();
+        for &(ix, iy, dw) in &moves {
+            *perturbed.get_mut(ix, iy) += dw;
+        }
+        let want = model.solve(&perturbed).unwrap();
+        for ((_, a), (_, b)) in got.map.grid().iter().zip(want.grid().iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lru_cache_stays_bounded() {
+        let (model, power) = setup(8, 8);
+        let delta = DeltaThermalModel::with_limits(Arc::clone(&model), &power, 4, 4).unwrap();
+        for i in 0..8 {
+            delta.evaluate_delta(&[(i % 8, i / 2, 1e-5)]).unwrap();
+        }
+        assert!(
+            delta.cached_columns() <= 4,
+            "LRU must evict beyond capacity"
+        );
+        // Evicted columns are re-materialized transparently.
+        let got = delta.evaluate_delta(&[(0, 0, 1e-5)]).unwrap();
+        assert!(!got.exact);
+    }
+
+    #[test]
+    fn warmed_columns_serve_wide_perturbations_without_fallback() {
+        let (model, power) = setup(8, 8);
+        // max_new_columns = 0: nothing may be materialized mid-eval.
+        let delta = DeltaThermalModel::with_limits(Arc::clone(&model), &power, 64, 0).unwrap();
+        let cells: Vec<(usize, usize)> = (0..12).map(|i| (i % 4 + 2, i / 4 + 2)).collect();
+        assert_eq!(delta.warm_columns(&cells).unwrap(), 12);
+        assert_eq!(delta.warm_columns(&cells).unwrap(), 0, "idempotent");
+        let moves: Vec<(usize, usize, f64)> =
+            cells.iter().map(|&(ix, iy)| (ix, iy, 1e-4)).collect();
+        let got = delta.evaluate_delta(&moves).unwrap();
+        assert!(!got.exact, "warmed columns must serve the superposition");
+        let mut perturbed = power.clone();
+        for &(ix, iy, dw) in &moves {
+            *perturbed.get_mut(ix, iy) += dw;
+        }
+        let want = model.solve(&perturbed).unwrap();
+        for ((_, a), (_, b)) in got.map.grid().iter().zip(want.grid().iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        assert!(delta.warm_columns(&[(8, 0)]).is_err(), "out of range");
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected() {
+        let (model, power) = setup(8, 8);
+        let delta = DeltaThermalModel::new(model, &power).unwrap();
+        // Out of range.
+        assert!(matches!(
+            delta.evaluate_delta(&[(8, 0, 1e-3)]),
+            Err(ThermalError::InvalidPower { .. })
+        ));
+        // Non-finite.
+        assert!(matches!(
+            delta.evaluate_delta(&[(0, 0, f64::NAN)]),
+            Err(ThermalError::InvalidPower { .. })
+        ));
+        // Going below zero total power.
+        assert!(matches!(
+            delta.evaluate_delta(&[(4, 4, -1.0)]),
+            Err(ThermalError::InvalidPower { .. })
+        ));
+    }
+
+    #[test]
+    fn matches_a_fresh_simulator_solve() {
+        let (model, power) = setup(12, 12);
+        let delta = DeltaThermalModel::new(Arc::clone(&model), &power).unwrap();
+        let moves = [(6usize, 6usize, -5e-4), (9, 9, 5e-4)];
+        let got = delta.evaluate_delta(&moves).unwrap();
+        let mut perturbed = power.clone();
+        for &(ix, iy, dw) in &moves {
+            *perturbed.get_mut(ix, iy) += dw;
+        }
+        let sim = ThermalSimulator::new(model.config().clone());
+        let fresh = sim.solve(die(), &perturbed).unwrap();
+        for ((_, a), (_, b)) in got.map.grid().iter().zip(fresh.grid().iter()) {
+            assert!(
+                (a - b).abs() < 0.05,
+                "delta drifted from reference: {a} vs {b}"
+            );
+        }
+    }
+}

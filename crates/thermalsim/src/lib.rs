@@ -31,12 +31,14 @@
 //! # }
 //! ```
 
+mod delta;
 mod map;
 mod model;
 mod network;
 mod sim;
 mod stack;
 
+pub use delta::{DeltaEvaluation, DeltaThermalModel};
 pub use map::ThermalMap;
 pub use model::FactorizedThermalModel;
 pub use sim::{GridSpec, ThermalConfig, ThermalError, ThermalSimulator};

@@ -90,6 +90,16 @@ impl FactorizedThermalModel {
         self.factored.reduced_dim()
     }
 
+    /// The underlying factorized circuit (for the delta-evaluation layer).
+    pub(crate) fn factored(&self) -> &FactorizedCircuit {
+        &self.factored
+    }
+
+    /// Active-layer node ids in `iy * nx + ix` order.
+    pub(crate) fn active_nodes(&self) -> &[NodeId] {
+        &self.active_nodes
+    }
+
     /// Solves the steady-state field for one power map (watts per thermal
     /// bin) against the cached factorization.
     ///
@@ -186,6 +196,29 @@ mod tests {
 #[cfg(test)]
 mod iter_probe {
     use super::*;
+
+    #[test]
+    #[ignore]
+    fn print_influence_column_timings() {
+        let die = Rect::new(0.0, 0.0, 373.5, 375.3);
+        let config = ThermalConfig::paper();
+        let model = FactorizedThermalModel::build(&config, die).unwrap();
+        let nodes: Vec<_> = (0..32).map(|i| model.active_nodes()[820 + i]).collect();
+        for tol in [1e-9f64, 1e-6] {
+            for k in [1usize, 8, 16, 32] {
+                let started = std::time::Instant::now();
+                let mut total = 0;
+                for chunk in nodes.chunks(k) {
+                    model.factored().influence_columns_with(chunk, tol).unwrap();
+                    total += chunk.len();
+                }
+                println!(
+                    "tol {tol:.0e} block {k:>2}: {:>7.1} ms for {total} columns",
+                    started.elapsed().as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
 
     #[test]
     #[ignore]

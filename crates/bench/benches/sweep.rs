@@ -16,6 +16,15 @@
 //! the two. CI gates on the throughput ratio (≥ 10×) and the drift
 //! (≤ 0.05 K).
 //!
+//! Schema version 3 adds the `solver_scaling` section — per-solve
+//! latency, iteration counts and field drift of the structured stencil +
+//! multigrid path against the CSR + MIC(0) oracle across meshes (20/40
+//! smoke, up to 128 full), with fitted time-vs-unknowns scaling
+//! exponents — plus a large-mesh scenario band (80×80, 128×128,
+//! engine-only) in `records[]` and warm-start iteration savings in
+//! `delta`. CI gates on the 40×40×9 structured speedup (≥ 1.5×) and
+//! oracle drift (≤ 1e-6 K).
+//!
 //! ```sh
 //! cargo bench -p coolplace-bench --bench sweep -- \
 //!     --smoke --threads 2 --out BENCH_sweep.json --check ci/bench-baseline.json
@@ -41,12 +50,15 @@ use postplace::{
     default_threads, run_sweep, Flow, FlowConfig, FlowError, FlowReport, Strategy, SweepGrid,
     WorkloadSpec,
 };
-use thermalsim::{DeltaThermalModel, FactorizedThermalModel, ThermalConfig};
+use thermalsim::{DeltaThermalModel, FactorizedThermalModel, SolverKind, ThermalConfig};
 
 /// Bump when a field changes meaning; additions are backwards-compatible.
 /// v2: added the `delta` section (delta-vs-exact candidate throughput)
 /// and the clustered/checkerboard workloads.
-const SCHEMA_VERSION: f64 = 2.0;
+/// v3: added the `solver_scaling` section (structured-vs-CSR per-solve),
+/// the large-mesh scenario band (`band` field on records) and the
+/// warm-start fields of the `delta` section.
+const SCHEMA_VERSION: f64 = 3.0;
 
 /// In-run agreement required between the sequential reference and the
 /// engine, in kelvin — pure solver noise, no physics.
@@ -54,17 +66,18 @@ const SOLVE_TOLERANCE_C: f64 = 1e-3;
 
 /// `cargo bench` launches the binary with the *package* directory as
 /// CWD; anchor relative paths at the workspace root so
-/// `--out BENCH_sweep.json` lands where CI expects it.
+/// `--out BENCH_sweep.json` lands where CI expects it. Falls back to the
+/// path as given if the manifest layout ever stops matching — a wrong
+/// relative directory beats a panic mid-emission.
 fn from_workspace_root(path: &str) -> PathBuf {
     let path = Path::new(path);
     if path.is_absolute() {
         return path.to_path_buf();
     }
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/bench sits two levels under the workspace root")
-        .join(path)
+    match Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) {
+        Some(root) => root.join(path),
+        None => path.to_path_buf(),
+    }
 }
 
 struct Args {
@@ -166,6 +179,23 @@ fn build_grid(smoke: bool) -> SweepGrid {
     }
 }
 
+/// The large-mesh scenario band (full mode only): resolutions the
+/// CSR + MIC(0) solver made impractically slow, opened up by the
+/// structured multigrid path. Evaluated through the engine only — the
+/// sequential `run_reference` yardstick re-assembles and Jacobi-solves
+/// per evaluation, which at 128×128×9 would measure nothing but the old
+/// solver's pain.
+fn build_large_grid() -> SweepGrid {
+    SweepGrid::new(FlowConfig::scattered_small().fast())
+        .workload("scattered", scattered())
+        .workload("concentrated", concentrated())
+        .meshes([(80, 80), (128, 128)])
+        .strategy(Strategy::UniformSlack {
+            area_overhead: 0.16,
+        })
+        .row_counts([8])
+}
+
 /// The yardstick: every scenario through `Flow::run_reference`, one
 /// after another, one flow per (workload, mesh) group — exactly what the
 /// flow cost before the engine existed.
@@ -183,30 +213,14 @@ fn run_sequential(grid: &SweepGrid) -> Result<(Vec<FlowReport>, f64), FlowError>
     Ok((reports, started.elapsed().as_secs_f64() * 1e3))
 }
 
-/// Delta-bench shape: exact re-solves sampled for a stable per-candidate
-/// cost; enough delta evaluations that the cold influence-column
-/// population (which the delta total includes) is amortized the way a
-/// real screening loop amortizes it.
-const DELTA_EXACT_SAMPLE: usize = 24;
-const DELTA_CANDIDATES: usize = 256;
-const DELTA_POOL_CELLS: usize = 32;
-const DELTA_MOVES_PER_CANDIDATE: usize = 8;
+/// The paper-scale die used by the solver benches.
+fn bench_die() -> Rect {
+    Rect::new(0.0, 0.0, 373.5, 375.3)
+}
 
-/// Benchmarks per-candidate evaluation on the paper's 40×40×9
-/// configuration: `FactorizedThermalModel::solve` re-solves (tier 2)
-/// versus `DeltaThermalModel::evaluate_delta` superposition (tier 3) over
-/// sparse power redistributions drawn from the hotspot's cells, plus the
-/// worst field-wise drift between the two paths on a common sample.
-fn run_delta_bench() -> Result<Json, String> {
-    let die = Rect::new(0.0, 0.0, 373.5, 375.3);
-    let config = ThermalConfig::paper();
-    let (nx, ny) = (config.grid.nx, config.grid.ny);
-    let build_started = Instant::now();
-    let model = Arc::new(FactorizedThermalModel::build(&config, die).map_err(|e| e.to_string())?);
-    let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
-
-    // Baseline power: one concentrated hotspot over a warm background —
-    // the shape of the paper's test set 2.
+/// A hotspot-over-warm-background power map — the shape of the paper's
+/// test set 2 — at any resolution.
+fn bench_power(nx: usize, ny: usize, die: Rect) -> Grid2d<f64> {
     let mut power = Grid2d::new(nx, ny, die, 2e-6);
     for iy in 0..ny {
         for ix in 0..nx {
@@ -216,6 +230,139 @@ fn run_delta_bench() -> Result<Json, String> {
             *power.get_mut(ix, iy) += 2.5e-3 * (-(dx * dx + dy * dy) / spread).exp();
         }
     }
+    power
+}
+
+/// Least-squares slope of `ln(ms)` against `ln(unknowns)` — the measured
+/// time-vs-size scaling exponent of a solver (1.0 = linear).
+fn scaling_exponent(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(unknowns, ms) in points {
+        let (x, y) = (unknowns.ln(), ms.ln());
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    (denom.abs() > 1e-12).then(|| (n * sxy - sx * sy) / denom)
+}
+
+/// Benchmarks one solver backend at one mesh: build time plus the mean
+/// of `solves` timed re-solves (after one untimed warm-up), with the
+/// iteration count and the solved field for cross-checking.
+fn time_backend(
+    nx: usize,
+    solver: SolverKind,
+    solves: usize,
+) -> Result<(f64, f64, usize, thermalsim::ThermalMap), String> {
+    let die = bench_die();
+    let config = ThermalConfig::with_resolution(nx, nx).with_solver(solver);
+    let power = bench_power(nx, nx, die);
+    let build_started = Instant::now();
+    let model = FactorizedThermalModel::build(&config, die).map_err(|e| e.to_string())?;
+    let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+    let (map, mut iterations, _) = model.solve_with_stats(&power).map_err(|e| e.to_string())?;
+    let solve_started = Instant::now();
+    for _ in 0..solves {
+        let (_, it, _) = model.solve_with_stats(&power).map_err(|e| e.to_string())?;
+        iterations = it;
+    }
+    let solve_ms = solve_started.elapsed().as_secs_f64() * 1e3 / solves.max(1) as f64;
+    Ok((build_ms, solve_ms, iterations, map))
+}
+
+/// The solver-scaling section: structured stencil + multigrid versus the
+/// CSR + MIC(0) oracle, per mesh — per-solve latency (within-run ratio,
+/// machine-independent), iteration counts (near-mesh-independent for
+/// multigrid, growing for MIC), worst field drift between the two, and
+/// the fitted time-vs-unknowns scaling exponents.
+fn run_solver_scaling(meshes: &[usize]) -> Result<Json, String> {
+    let mut entries = Vec::new();
+    let mut stencil_points = Vec::new();
+    let mut csr_points = Vec::new();
+    for &nx in meshes {
+        let solves = if nx <= 40 {
+            5
+        } else if nx <= 80 {
+            3
+        } else {
+            2
+        };
+        let (s_build, s_solve, s_iters, s_map) = time_backend(nx, SolverKind::Stencil, solves)?;
+        let (c_build, c_solve, c_iters, c_map) = time_backend(nx, SolverKind::Csr, solves)?;
+        let mut drift_k: f64 = 0.0;
+        for ((_, a), (_, b)) in s_map.grid().iter().zip(c_map.grid().iter()) {
+            drift_k = drift_k.max((a - b).abs());
+        }
+        let unknowns = (nx * nx * 9 + 1) as f64;
+        stencil_points.push((unknowns, s_solve));
+        csr_points.push((unknowns, c_solve));
+        let speedup = c_solve / s_solve;
+        println!(
+            "solver scaling [{nx}x{nx}x9]: stencil {s_solve:.2} ms/{s_iters} its \
+             (build {s_build:.0} ms), csr {c_solve:.2} ms/{c_iters} its \
+             (build {c_build:.0} ms) → {speedup:.1}×, drift {drift_k:.1e} K"
+        );
+        entries.push(Json::obj([
+            (
+                "mesh",
+                Json::Arr(vec![Json::Num(nx as f64), Json::Num(nx as f64)]),
+            ),
+            ("unknowns", Json::Num(unknowns)),
+            ("timed_solves", Json::Num(solves as f64)),
+            ("stencil_build_ms", Json::Num(s_build)),
+            ("stencil_solve_ms", Json::Num(s_solve)),
+            ("stencil_iterations", Json::Num(s_iters as f64)),
+            ("csr_build_ms", Json::Num(c_build)),
+            ("csr_solve_ms", Json::Num(c_solve)),
+            ("csr_iterations", Json::Num(c_iters as f64)),
+            ("speedup_vs_csr", Json::Num(speedup)),
+            ("max_drift_k", Json::Num(drift_k)),
+        ]));
+    }
+    Ok(Json::obj([
+        ("meshes", Json::Arr(entries)),
+        (
+            "scaling_exponent_stencil",
+            scaling_exponent(&stencil_points).map_or(Json::Null, Json::Num),
+        ),
+        (
+            "scaling_exponent_csr",
+            scaling_exponent(&csr_points).map_or(Json::Null, Json::Num),
+        ),
+    ]))
+}
+
+/// Delta-bench shape: exact re-solves sampled for a stable per-candidate
+/// cost; enough delta evaluations that the cold influence-column
+/// population (which the delta total includes) is amortized the way a
+/// real screening loop amortizes it.
+const DELTA_EXACT_SAMPLE: usize = 24;
+const DELTA_CANDIDATES: usize = 512;
+const DELTA_POOL_CELLS: usize = 32;
+const DELTA_MOVES_PER_CANDIDATE: usize = 8;
+
+/// Benchmarks per-candidate evaluation on the paper's 40×40×9
+/// configuration: `FactorizedThermalModel::solve` re-solves (tier 2)
+/// versus `DeltaThermalModel::evaluate_delta` superposition (tier 3) over
+/// sparse power redistributions drawn from the hotspot's cells, plus the
+/// worst field-wise drift between the two paths on a common sample.
+fn run_delta_bench() -> Result<Json, String> {
+    let die = bench_die();
+    let config = ThermalConfig::paper();
+    let (nx, ny) = (config.grid.nx, config.grid.ny);
+    let build_started = Instant::now();
+    let model = Arc::new(FactorizedThermalModel::build(&config, die).map_err(|e| e.to_string())?);
+    let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+
+    // Baseline power: one concentrated hotspot over a warm background —
+    // the shape of the paper's test set 2.
+    let power = bench_power(nx, ny, die);
     // Candidate pool: the hottest bins — where real strategies move power.
     let mut by_power: Vec<(usize, usize)> = (0..ny)
         .flat_map(|iy| (0..nx).map(move |ix| (ix, iy)))
@@ -290,6 +437,29 @@ fn run_delta_bench() -> Result<Json, String> {
         delta_model.exact_fallbacks(),
         delta_model.cached_columns(),
     );
+
+    // CG warm-starts: the pool columns above were solved cold (nothing
+    // was retained yet); materializing their neighbours now seeds each
+    // solve from the nearest cached column, laterally shifted. The
+    // iteration split measures what seeding saves a real screening loop
+    // whose candidate support grows outward from the hotspots.
+    let ring: Vec<(usize, usize)> = pool
+        .iter()
+        .filter_map(|&(ix, iy)| {
+            let moved = (ix + 1, iy);
+            (moved.0 < nx && !pool.contains(&moved)).then_some(moved)
+        })
+        .collect();
+    delta_model.warm_columns(&ring).map_err(|e| e.to_string())?;
+    let column_stats = delta_model.column_stats();
+    let unseeded_mean = column_stats.unseeded_mean().unwrap_or(0.0);
+    let seeded_mean = column_stats.seeded_mean().unwrap_or(0.0);
+    let savings_pct = column_stats.savings().unwrap_or(0.0) * 100.0;
+    println!(
+        "warm starts: {} cold columns at {unseeded_mean:.1} its, \
+         {} seeded columns at {seeded_mean:.1} its → {savings_pct:.0}% saved",
+        column_stats.unseeded_columns, column_stats.seeded_columns,
+    );
     Ok(Json::obj([
         (
             "mesh",
@@ -315,6 +485,13 @@ fn run_delta_bench() -> Result<Json, String> {
             "columns_cached",
             Json::Num(delta_model.cached_columns() as f64),
         ),
+        ("column_iters_unseeded_mean", Json::Num(unseeded_mean)),
+        ("column_iters_seeded_mean", Json::Num(seeded_mean)),
+        (
+            "warm_started_columns",
+            Json::Num(column_stats.seeded_columns as f64),
+        ),
+        ("warm_start_savings_pct", Json::Num(savings_pct)),
     ]))
 }
 
@@ -364,7 +541,10 @@ fn main() -> ExitCode {
         sweep_ms = sweep_ms.min(sweep.wall_ms);
         measured = Some((sequential_reports, sweep));
     }
-    let (sequential_reports, sweep) = measured.expect("repeats >= 1");
+    let Some((sequential_reports, sweep)) = measured else {
+        eprintln!("no measurement rounds ran (repeats = {repeats})");
+        return ExitCode::FAILURE;
+    };
     let speedup = sequential_ms / sweep_ms;
     println!(
         "best of {repeats}: sequential {sequential_ms:.0} ms, \
@@ -384,6 +564,31 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // The large-mesh band (full mode only): the resolutions the
+    // structured solver opened up, evaluated through the engine alone.
+    let large_results = if args.smoke {
+        Vec::new()
+    } else {
+        let large_grid = build_large_grid();
+        println!(
+            "large-mesh band: {} scenarios at 80x80 / 128x128",
+            large_grid.scenario_count()
+        );
+        match run_sweep(&large_grid, args.threads) {
+            Ok(report) => {
+                println!(
+                    "large-mesh band done in {:.0} ms across {} flows",
+                    report.wall_ms, report.flows_built
+                );
+                report.results
+            }
+            Err(e) => {
+                eprintln!("large-mesh sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
     // Per-candidate latency of the delta-evaluation engine vs exact
     // re-solves on the acceptance configuration (40×40×9).
     let delta_section = match run_delta_bench() {
@@ -394,32 +599,54 @@ fn main() -> ExitCode {
         }
     };
 
+    // Structured-vs-CSR per-solve scaling; the 40×40×9 entry is what CI
+    // gates on, the larger meshes measure the scaling exponent.
+    let scaling_meshes: &[usize] = if args.smoke {
+        &[20, 40]
+    } else {
+        &[20, 40, 80, 128]
+    };
+    let solver_scaling = match run_solver_scaling(scaling_meshes) {
+        Ok(section) => section,
+        Err(e) => {
+            eprintln!("solver-scaling bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let record_json = |r: &postplace::ScenarioResult, index: usize, band: &str| {
+        Json::obj([
+            ("index", Json::Num(index as f64)),
+            ("band", Json::Str(band.to_string())),
+            ("workload", Json::Str(r.scenario.workload.clone())),
+            (
+                "mesh",
+                Json::Arr(vec![
+                    Json::Num(r.scenario.mesh.0 as f64),
+                    Json::Num(r.scenario.mesh.1 as f64),
+                ]),
+            ),
+            ("strategy", Json::Str(r.scenario.strategy.to_string())),
+            ("area_overhead_pct", Json::Num(r.report.area_overhead_pct)),
+            ("peak_before_c", Json::Num(r.report.before.peak_c)),
+            ("peak_after_c", Json::Num(r.report.after.peak_c)),
+            ("reduction_pct", Json::Num(r.report.reduction_pct())),
+            (
+                "timing_overhead_pct",
+                Json::Num(r.report.timing_overhead_pct()),
+            ),
+            ("wall_ms", Json::Num(r.wall_ms)),
+        ])
+    };
     let records: Vec<Json> = sweep
         .results
         .iter()
-        .map(|r| {
-            Json::obj([
-                ("index", Json::Num(r.scenario.index as f64)),
-                ("workload", Json::Str(r.scenario.workload.clone())),
-                (
-                    "mesh",
-                    Json::Arr(vec![
-                        Json::Num(r.scenario.mesh.0 as f64),
-                        Json::Num(r.scenario.mesh.1 as f64),
-                    ]),
-                ),
-                ("strategy", Json::Str(r.scenario.strategy.to_string())),
-                ("area_overhead_pct", Json::Num(r.report.area_overhead_pct)),
-                ("peak_before_c", Json::Num(r.report.before.peak_c)),
-                ("peak_after_c", Json::Num(r.report.after.peak_c)),
-                ("reduction_pct", Json::Num(r.report.reduction_pct())),
-                (
-                    "timing_overhead_pct",
-                    Json::Num(r.report.timing_overhead_pct()),
-                ),
-                ("wall_ms", Json::Num(r.wall_ms)),
-            ])
-        })
+        .map(|r| record_json(r, r.scenario.index, "standard"))
+        .chain(
+            large_results
+                .iter()
+                .map(|r| record_json(r, sweep.results.len() + r.scenario.index, "large")),
+        )
         .collect();
     let doc = Json::obj([
         ("schema_version", Json::Num(SCHEMA_VERSION)),
@@ -428,12 +655,17 @@ fn main() -> ExitCode {
         ("threads", Json::Num(sweep.threads as f64)),
         ("repeats", Json::Num(repeats as f64)),
         ("scenario_count", Json::Num(sweep.results.len() as f64)),
+        (
+            "large_scenario_count",
+            Json::Num(large_results.len() as f64),
+        ),
         ("flows_built", Json::Num(sweep.flows_built as f64)),
         ("sequential_wall_ms", Json::Num(sequential_ms)),
         ("sweep_wall_ms", Json::Num(sweep_ms)),
         ("speedup", Json::Num(speedup)),
         ("max_peak_delta_c", Json::Num(max_delta_c)),
         ("delta", delta_section),
+        ("solver_scaling", solver_scaling),
         ("records", Json::Arr(records)),
     ]);
     if let Err(e) = std::fs::write(&args.out, doc.render()) {

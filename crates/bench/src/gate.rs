@@ -38,6 +38,18 @@ pub const DELTA_DRIFT_TOLERANCE_C: f64 = 0.05;
 /// (cold-cache column population included in the delta cost).
 pub const MIN_DELTA_THROUGHPUT_RATIO: f64 = 10.0;
 
+/// Minimum per-solve speedup the structured stencil + multigrid path
+/// must hold over the CSR + MIC(0) oracle on the 40×40×9 configuration
+/// (a within-run ratio, so machine speed cancels out). Measured ~3–5×;
+/// gated conservatively.
+pub const MIN_STRUCTURED_SPEEDUP: f64 = 1.5;
+
+/// Worst allowed temperature disagreement between the structured path
+/// and the CSR oracle, kelvin. Both solve the same conductances to a
+/// 1e-9 relative residual, so anything past a microkelvin means one of
+/// the solvers is wrong.
+pub const STRUCTURED_DRIFT_TOLERANCE_K: f64 = 1e-6;
+
 fn record_key(record: &Json) -> Option<String> {
     let workload = record.get("workload")?.as_str()?;
     let strategy = record.get("strategy")?.as_str()?;
@@ -120,6 +132,57 @@ pub fn check_against_baseline(
     }
 
     failures.extend(check_delta_section(current, baseline));
+    failures.extend(check_solver_scaling_section(current, baseline));
+    failures
+}
+
+/// Validates the structured-solver section (schema ≥ 3): the 40×40×9
+/// entry must hold the structured-vs-CSR speedup floor and stay within
+/// the drift tolerance of the oracle. Like the delta section, these are
+/// within-run measurements; the baseline only establishes presence.
+fn check_solver_scaling_section(current: &Json, baseline: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(scaling) = current.get("solver_scaling") else {
+        if baseline.get("solver_scaling").is_some() {
+            failures.push("`solver_scaling` section missing from this run".to_string());
+        }
+        return failures;
+    };
+    let Some(meshes) = scaling.get("meshes").and_then(Json::as_arr) else {
+        failures.push("section `solver_scaling` is missing key `meshes`".to_string());
+        return failures;
+    };
+    let gate_entry = meshes.iter().find(|entry| {
+        entry
+            .get("mesh")
+            .and_then(Json::as_arr)
+            .and_then(|m| m.first())
+            .and_then(Json::as_f64)
+            == Some(40.0)
+    });
+    let Some(entry) = gate_entry else {
+        failures.push(
+            "section `solver_scaling.meshes` has no 40×40 entry (the gated configuration)"
+                .to_string(),
+        );
+        return failures;
+    };
+    match entry.require_f64("solver_scaling.meshes[40x40]", "speedup_vs_csr") {
+        Ok(speedup) if speedup < MIN_STRUCTURED_SPEEDUP => failures.push(format!(
+            "structured solver is only {speedup:.2}× the CSR oracle at 40×40×9 \
+             (floor {MIN_STRUCTURED_SPEEDUP}×)"
+        )),
+        Ok(_) => {}
+        Err(e) => failures.push(e),
+    }
+    match entry.require_f64("solver_scaling.meshes[40x40]", "max_drift_k") {
+        Ok(drift) if drift > STRUCTURED_DRIFT_TOLERANCE_K => failures.push(format!(
+            "structured solver drifted {drift:.2e} K from the CSR oracle at 40×40×9 \
+             (tolerance {STRUCTURED_DRIFT_TOLERANCE_K:.0e} K)"
+        )),
+        Ok(_) => {}
+        Err(e) => failures.push(e),
+    }
     failures
 }
 
@@ -135,21 +198,21 @@ fn check_delta_section(current: &Json, baseline: &Json) -> Vec<String> {
         }
         return failures;
     };
-    match delta.get("max_drift_c").and_then(Json::as_f64) {
-        Some(drift) if drift > DELTA_DRIFT_TOLERANCE_C => failures.push(format!(
+    match delta.require_f64("delta", "max_drift_c") {
+        Ok(drift) if drift > DELTA_DRIFT_TOLERANCE_C => failures.push(format!(
             "delta path drifted {drift:.4} K from exact re-solves \
              (tolerance {DELTA_DRIFT_TOLERANCE_C} K)"
         )),
-        Some(_) => {}
-        None => failures.push("`delta` section missing max_drift_c".to_string()),
+        Ok(_) => {}
+        Err(e) => failures.push(e),
     }
-    match delta.get("throughput_ratio").and_then(Json::as_f64) {
-        Some(ratio) if ratio < MIN_DELTA_THROUGHPUT_RATIO => failures.push(format!(
+    match delta.require_f64("delta", "throughput_ratio") {
+        Ok(ratio) if ratio < MIN_DELTA_THROUGHPUT_RATIO => failures.push(format!(
             "delta path evaluates only {ratio:.1}× more candidates/sec than \
              exact re-solves (floor {MIN_DELTA_THROUGHPUT_RATIO}×)"
         )),
-        Some(_) => {}
-        None => failures.push("`delta` section missing throughput_ratio".to_string()),
+        Ok(_) => {}
+        Err(e) => failures.push(e),
     }
     failures
 }
@@ -251,6 +314,77 @@ mod tests {
             "{failures:?}"
         );
         // Pre-v2 documents (no delta anywhere) still pass.
+        assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
+    }
+
+    fn with_scaling(mut doc: Json, speedup: f64, drift: f64) -> Json {
+        let Json::Obj(pairs) = &mut doc else {
+            unreachable!()
+        };
+        pairs.push((
+            "solver_scaling".to_string(),
+            Json::obj([(
+                "meshes",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("mesh", Json::Arr(vec![Json::Num(20.0), Json::Num(20.0)])),
+                        ("speedup_vs_csr", Json::Num(3.0)),
+                        ("max_drift_k", Json::Num(1e-9)),
+                    ]),
+                    Json::obj([
+                        ("mesh", Json::Arr(vec![Json::Num(40.0), Json::Num(40.0)])),
+                        ("speedup_vs_csr", Json::Num(speedup)),
+                        ("max_drift_k", Json::Num(drift)),
+                    ]),
+                ]),
+            )]),
+        ));
+        doc
+    }
+
+    #[test]
+    fn solver_scaling_gates_speedup_and_drift_at_40x40() {
+        let base = with_scaling(doc(3.0, 81.5), 3.5, 1e-9);
+        // Healthy section passes.
+        let good = with_scaling(doc(3.0, 81.5), 2.1, 3e-8);
+        assert!(check_against_baseline(&good, &base, 0.25, 0.2).is_empty());
+        // Speedup under the floor fails, naming the configuration.
+        let slow = with_scaling(doc(3.0, 81.5), 1.2, 1e-9);
+        let failures = check_against_baseline(&slow, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("40×40×9")),
+            "{failures:?}"
+        );
+        // Oracle drift fails.
+        let drifty = with_scaling(doc(3.0, 81.5), 3.0, 1e-3);
+        let failures = check_against_baseline(&drifty, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("drifted")),
+            "{failures:?}"
+        );
+        // A truncated section names exactly what is missing.
+        let mut truncated = with_scaling(doc(3.0, 81.5), 2.0, 1e-9);
+        let Json::Obj(pairs) = &mut truncated else {
+            unreachable!()
+        };
+        pairs.retain(|(k, _)| k != "solver_scaling");
+        pairs.push(("solver_scaling".to_string(), Json::obj([])));
+        let failures = check_against_baseline(&truncated, &base, 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("`solver_scaling`") && f.contains("meshes")),
+            "{failures:?}"
+        );
+        // Dropping the section entirely (when the baseline has it) fails.
+        let failures = check_against_baseline(&doc(3.0, 81.5), &base, 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("`solver_scaling` section missing")),
+            "{failures:?}"
+        );
+        // Pre-v3 documents (no section on either side) still pass.
         assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
     }
 

@@ -66,6 +66,24 @@ impl Json {
         }
     }
 
+    /// Numeric member lookup that *names what is missing*: the regression
+    /// gate walks bench documents with this so a malformed or truncated
+    /// section produces "section `delta` is missing key `max_drift_c`"
+    /// instead of an opaque `None` (or, worse, a panic mid-check).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming `section` and `key` when the key is
+    /// absent or not a (finite-rendered) number.
+    pub fn require_f64(&self, section: &str, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(value) => value
+                .as_f64()
+                .ok_or_else(|| format!("section `{section}`: key `{key}` is not a number")),
+            None => Err(format!("section `{section}` is missing key `{key}`")),
+        }
+    }
+
     /// Renders the document pretty-printed (two-space indent, trailing
     /// newline) — the stable on-disk format.
     pub fn render(&self) -> String {
@@ -289,7 +307,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Copy one UTF-8 character verbatim.
                 let rest =
                     std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8".to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| "unterminated string".to_string())?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -304,7 +325,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("invalid number bytes at {start}"))?;
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("bad number `{text}` at byte {start}"))
@@ -347,6 +369,19 @@ mod tests {
         assert_eq!(doc.get("speedup").and_then(Json::as_f64), Some(3.5));
         let records = doc.get("records").and_then(Json::as_arr).unwrap();
         assert_eq!(records[0].get("peak_c").and_then(Json::as_f64), Some(83.1));
+    }
+
+    #[test]
+    fn require_f64_names_the_missing_piece() {
+        let doc = Json::parse(r#"{"speedup": 3.5, "mode": "smoke"}"#).unwrap();
+        assert_eq!(doc.require_f64("root", "speedup"), Ok(3.5));
+        let missing = doc
+            .require_f64("solver_scaling", "max_drift_k")
+            .unwrap_err();
+        assert!(missing.contains("solver_scaling"), "{missing}");
+        assert!(missing.contains("max_drift_k"), "{missing}");
+        let wrong_type = doc.require_f64("root", "mode").unwrap_err();
+        assert!(wrong_type.contains("not a number"), "{wrong_type}");
     }
 
     #[test]

@@ -221,14 +221,15 @@ impl FlowReport {
 
 /// Cache key: mesh resolution, a fingerprint of everything else the
 /// factorization depends on (layer stack, boundary conditions, solver
-/// tolerance), and the bit-exact die outline — so flows with different
-/// thermal configurations can safely share one cache.
+/// backend and tolerance), and the bit-exact die outline — so flows with
+/// different thermal configurations can safely share one cache.
 type ModelKey = (usize, usize, u64, u64, u64, u64, u64);
 
 fn model_key(config: &ThermalConfig, die: Rect) -> ModelKey {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     config.tolerance.to_bits().hash(&mut h);
+    config.solver.hash(&mut h);
     let stack = &config.stack;
     stack.h_bottom_w_m2k.to_bits().hash(&mut h);
     stack.h_top_w_m2k.to_bits().hash(&mut h);

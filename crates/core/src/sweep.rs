@@ -94,6 +94,14 @@ impl SweepGrid {
         self
     }
 
+    /// Adds several mesh resolutions at once — the shape the large-mesh
+    /// scenario band uses (`.meshes([(80, 80), (128, 128)])`), now that
+    /// the structured multigrid solver makes those resolutions practical.
+    pub fn meshes(mut self, meshes: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        self.meshes.extend(meshes);
+        self
+    }
+
     /// Adds one strategy to the strategy axis.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategies.push(strategy);

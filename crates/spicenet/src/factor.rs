@@ -268,13 +268,50 @@ impl FactorizedCircuit {
         nodes: &[NodeId],
         tolerance: f64,
     ) -> Result<Vec<Vec<f64>>, SolveError> {
+        Ok(self
+            .influence_columns_seeded(nodes, tolerance, &[])?
+            .into_iter()
+            .map(|(column, _)| column)
+            .collect())
+    }
+
+    /// Like [`FactorizedCircuit::influence_columns_with`], additionally
+    /// warm-starting each column's CG iteration from a caller-supplied
+    /// seed and reporting the per-column iteration count.
+    ///
+    /// Influence columns of neighbouring injection points are nearly
+    /// identical fields, so seeding a column from an already-materialized
+    /// neighbour starts the solve at a small residual and saves a
+    /// substantial fraction of the iterations (measured in the bench
+    /// pipeline's `delta` section). Each seed is a full per-node vector
+    /// as returned by this method; `seeds` is either empty (no seeding)
+    /// or one entry per requested node.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FactorizedCircuit::influence_columns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node does not belong to the factorized circuit or a
+    /// seed's length does not match the node count.
+    pub fn influence_columns_seeded(
+        &self,
+        nodes: &[NodeId],
+        tolerance: f64,
+        seeds: &[Option<&[f64]>],
+    ) -> Result<Vec<(Vec<f64>, usize)>, SolveError> {
         let k = nodes.len();
         let n = self.sys.a.n();
+        assert!(
+            seeds.is_empty() || seeds.len() == k,
+            "one seed slot per requested column"
+        );
         if k == 0 {
             return Ok(Vec::new());
         }
         if n == 0 {
-            return Ok((0..k).map(|_| self.sys.expand_delta(&[])).collect());
+            return Ok((0..k).map(|_| (self.sys.expand_delta(&[]), 0)).collect());
         }
         let mut block = vec![0.0f64; n * k];
         for (j, node) in nodes.iter().enumerate() {
@@ -287,11 +324,27 @@ impl FactorizedCircuit {
                 block[ri * k + j] = 1.0;
             }
         }
-        let (x, _) = self.run_block_with(&block, k, tolerance)?;
+        // Compress node-space seeds into a reduced node-major x0 block.
+        let x0 = if seeds.iter().any(Option::is_some) {
+            let mut x0 = vec![0.0f64; n * k];
+            for (j, seed) in seeds.iter().enumerate() {
+                let Some(seed) = seed else { continue };
+                assert_eq!(seed.len(), self.sys.reduced.len(), "seed length");
+                for (i, slot) in self.sys.reduced.iter().enumerate() {
+                    if let Some(ri) = *slot {
+                        x0[ri * k + j] = seed[i];
+                    }
+                }
+            }
+            Some(x0)
+        } else {
+            None
+        };
+        let (x, stats) = self.run_block_seeded(&block, k, tolerance, x0.as_deref())?;
         Ok((0..k)
             .map(|j| {
                 let xj: Vec<f64> = (0..n).map(|i| x[i * k + j]).collect();
-                self.sys.expand_delta(&xj)
+                (self.sys.expand_delta(&xj), stats[j].0)
             })
             .collect())
     }
@@ -303,14 +356,15 @@ impl FactorizedCircuit {
         block: &[f64],
         k: usize,
     ) -> Result<crate::sparse::BlockSolution, SolveError> {
-        self.run_block_with(block, k, self.tolerance)
+        self.run_block_seeded(block, k, self.tolerance, None)
     }
 
-    fn run_block_with(
+    fn run_block_seeded(
         &self,
         block: &[f64],
         k: usize,
         tolerance: f64,
+        x0: Option<&[f64]>,
     ) -> Result<crate::sparse::BlockSolution, SolveError> {
         preconditioned_cg_block(
             &self.sys.a,
@@ -319,6 +373,7 @@ impl FactorizedCircuit {
             tolerance,
             self.max_iterations,
             &self.precond,
+            x0,
         )
         .map_err(|(iterations, residual)| {
             if residual.is_infinite() {

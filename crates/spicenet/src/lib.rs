@@ -45,6 +45,7 @@ mod factor;
 mod mna;
 mod solution;
 mod sparse;
+mod stencil;
 
 pub use circuit::{Circuit, NodeId, NodeRef};
 pub use error::{CircuitError, SolveError};
@@ -52,3 +53,7 @@ pub use factor::FactorizedCircuit;
 pub use mna::{Method, SolveOptions};
 pub use solution::DcSolution;
 pub use sparse::CsrMatrix;
+pub use stencil::{
+    FactorizedStencil, LayeredStencilSpec, MgWorkspace, MultigridPreconditioner, StencilOperator,
+    StencilSystem,
+};

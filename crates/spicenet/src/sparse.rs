@@ -1,3 +1,35 @@
+/// A symmetric positive-definite operator the conjugate-gradient solvers
+/// can iterate against: a dimension plus single- and blocked
+/// matrix-vector products. Implemented by [`CsrMatrix`] (general sparse
+/// patterns) and by the structured-stencil path
+/// (`crate::stencil::StencilSystem`), so both ride the same CG loop.
+pub(crate) trait LinearOperator {
+    /// Operator dimension.
+    fn dim(&self) -> usize;
+    /// `y = A·x`.
+    fn apply_into(&self, x: &[f64], y: &mut [f64]);
+    /// `Y = A·X` for `k` node-major vectors (`x[i*k + j]` is entry `i`
+    /// of vector `j`).
+    fn apply_block_into(&self, x: &[f64], y: &mut [f64], k: usize);
+}
+
+/// A symmetric positive-definite preconditioner for [`LinearOperator`]s.
+///
+/// Some preconditioners (the multigrid V-cycle) need mutable scratch
+/// space; the CG driver allocates one [`Preconditioning::Workspace`] per
+/// solve and threads it through every application, so the preconditioner
+/// itself stays `&self` (and thus freely shareable across threads).
+pub(crate) trait Preconditioning {
+    /// Per-solve scratch state.
+    type Workspace;
+    /// Allocates scratch for a block of `k` right-hand sides.
+    fn workspace(&self, k: usize) -> Self::Workspace;
+    /// `z ≈ A⁻¹·r`.
+    fn precondition_into(&self, r: &[f64], z: &mut [f64], ws: &mut Self::Workspace);
+    /// Blocked `z ≈ A⁻¹·r` over `k` node-major residuals.
+    fn precondition_block_into(&self, r: &[f64], z: &mut [f64], k: usize, ws: &mut Self::Workspace);
+}
+
 /// A compressed-sparse-row matrix, built from coordinate triplets.
 ///
 /// Only what the conjugate-gradient solver needs: assembly with duplicate
@@ -153,6 +185,20 @@ impl CsrMatrix {
             }
         }
         d
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.mul_vec_into(x, y);
+    }
+
+    fn apply_block_into(&self, x: &[f64], y: &mut [f64], k: usize) {
+        self.mul_block_into(x, y, k);
     }
 }
 
@@ -483,6 +529,20 @@ impl Preconditioner {
     }
 }
 
+impl Preconditioning for Preconditioner {
+    type Workspace = ();
+
+    fn workspace(&self, _k: usize) {}
+
+    fn precondition_into(&self, r: &[f64], z: &mut [f64], (): &mut ()) {
+        self.apply_into(r, z);
+    }
+
+    fn precondition_block_into(&self, r: &[f64], z: &mut [f64], k: usize, (): &mut ()) {
+        self.apply_block_into(r, z, k);
+    }
+}
+
 /// Jacobi-preconditioned conjugate gradients for SPD systems (the
 /// default, assembly-per-solve path).
 ///
@@ -503,7 +563,9 @@ pub(crate) fn conjugate_gradient(
 
 /// Conjugate gradients with a caller-supplied preconditioner — the
 /// factorized path hands in an IC(0) factor computed once and amortized
-/// over many right-hand sides.
+/// over many right-hand sides. Generic over the operator and the
+/// preconditioner, so the CSR + incomplete-Cholesky path and the
+/// structured-stencil + multigrid path share one iteration loop.
 ///
 /// Returns `(x, iterations, relative_residual)`.
 ///
@@ -511,27 +573,28 @@ pub(crate) fn conjugate_gradient(
 ///
 /// Returns the iteration count and final residual if the tolerance is not
 /// reached within `max_iter`.
-pub(crate) fn preconditioned_cg(
-    a: &CsrMatrix,
+pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
+    a: &A,
     b: &[f64],
     tol: f64,
     max_iter: usize,
-    precond: &Preconditioner,
+    precond: &M,
 ) -> Result<(Vec<f64>, usize, f64), (usize, f64)> {
-    let n = a.n();
+    let n = a.dim();
     let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm_b == 0.0 {
         return Ok((vec![0.0; n], 0, 0.0));
     }
+    let mut ws = precond.workspace(1);
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut z = vec![0.0; n];
-    precond.apply_into(&r, &mut z);
+    precond.precondition_into(&r, &mut z, &mut ws);
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
     let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
     for it in 0..max_iter {
-        a.mul_vec_into(&p, &mut ap);
+        a.apply_into(&p, &mut ap);
         let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
         if pap <= 0.0 {
             // Not SPD (or numerically singular).
@@ -546,7 +609,7 @@ pub(crate) fn preconditioned_cg(
         if norm_r / norm_b < tol {
             return Ok((x, it + 1, norm_r / norm_b));
         }
-        precond.apply_into(&r, &mut z);
+        precond.precondition_into(&r, &mut z, &mut ws);
         let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
         let beta = rz_new / rz;
         rz = rz_new;
@@ -567,28 +630,33 @@ pub(crate) type BlockSolution = (Vec<f64>, Vec<(usize, f64)>);
 ///
 /// The systems stay mathematically independent — each keeps its own
 /// `α`/`β`/residual — but every iteration performs **one** blocked
-/// matvec and **one** blocked triangular sweep for the whole batch, so
-/// the matrix and the incomplete-Cholesky factor are streamed through
-/// memory once per iteration instead of `k` times. Converged systems are
-/// frozen (their updates zeroed) while the rest keep iterating.
+/// matvec and **one** blocked preconditioner application for the whole
+/// batch, so the operator's data is streamed through memory once per
+/// iteration instead of `k` times. Converged systems are frozen (their
+/// updates zeroed) while the rest keep iterating.
 ///
-/// `b` is node-major (`b[i*k + j]` = entry `i` of RHS `j`). Returns the
-/// solution block in the same layout plus per-system `(iterations,
-/// relative_residual)` diagnostics.
+/// `b` is node-major (`b[i*k + j]` = entry `i` of RHS `j`). An optional
+/// `x0` block (same layout) warm-starts the iteration — the engine
+/// behind influence-column seeding, where a neighbouring column is an
+/// excellent initial guess. Systems whose RHS is zero are pinned to the
+/// zero solution regardless of their seed. Returns the solution block in
+/// the same layout plus per-system `(iterations, relative_residual)`
+/// diagnostics.
 ///
 /// # Errors
 ///
 /// Returns `(iterations, residual)` of the worst offender if the matrix
 /// turns out indefinite or any system misses `tol` within `max_iter`.
-pub(crate) fn preconditioned_cg_block(
-    a: &CsrMatrix,
+pub(crate) fn preconditioned_cg_block<A: LinearOperator, M: Preconditioning>(
+    a: &A,
     b: &[f64],
     k: usize,
     tol: f64,
     max_iter: usize,
-    precond: &Preconditioner,
+    precond: &M,
+    x0: Option<&[f64]>,
 ) -> Result<BlockSolution, (usize, f64)> {
-    let n = a.n();
+    let n = a.dim();
     assert_eq!(b.len(), n * k, "dimension mismatch");
     let mut stats = vec![(0usize, 0.0f64); k];
     if k == 0 {
@@ -603,17 +671,61 @@ pub(crate) fn preconditioned_cg_block(
     for nb in &mut norm_b {
         *nb = nb.sqrt();
     }
-    let mut x = vec![0.0f64; n * k];
     // Zero RHS converges immediately; everything else is active.
     let mut active: Vec<bool> = norm_b.iter().map(|&nb| nb > 0.0).collect();
+    let mut x = match x0 {
+        Some(seed) => {
+            assert_eq!(seed.len(), n * k, "dimension mismatch");
+            let mut x = seed.to_vec();
+            // A·0 = 0, so zero-RHS systems ignore their seed.
+            for (j, live) in active.iter().enumerate() {
+                if !live {
+                    for xi in x.chunks_exact_mut(k) {
+                        xi[j] = 0.0;
+                    }
+                }
+            }
+            x
+        }
+        None => vec![0.0f64; n * k],
+    };
     if active.iter().all(|a| !a) {
         return Ok((x, stats));
     }
     let mut r = b.to_vec();
-    let mut z = vec![0.0f64; n * k];
-    precond.apply_block_into(&r, &mut z, k);
-    let mut p = z.clone();
     let mut ap = vec![0.0f64; n * k];
+    let mut norm_r = vec![0.0f64; k];
+    if x0.is_some() {
+        // r = b − A·x0; a good seed may already satisfy the tolerance.
+        a.apply_block_into(&x, &mut ap, k);
+        norm_r.fill(0.0);
+        for (ri, api) in r.chunks_exact_mut(k).zip(ap.chunks_exact(k)) {
+            for ((rj, aj), nr) in ri.iter_mut().zip(api).zip(norm_r.iter_mut()) {
+                *rj -= aj;
+                *nr += *rj * *rj;
+            }
+        }
+        let mut any_active = false;
+        for j in 0..k {
+            if !active[j] {
+                continue;
+            }
+            let rel = norm_r[j].sqrt() / norm_b[j];
+            stats[j] = (0, rel);
+            if rel < tol {
+                active[j] = false;
+            } else {
+                any_active = true;
+            }
+        }
+        if !any_active {
+            return Ok((x, stats));
+        }
+    }
+    let mut ws = precond.workspace(k);
+    let mut z = vec![0.0f64; n * k];
+    precond.precondition_block_into(&r, &mut z, k, &mut ws);
+    let mut p = z.clone();
     let mut rz = vec![0.0f64; k];
     for (ri, zi) in r.chunks_exact(k).zip(z.chunks_exact(k)) {
         for ((rzj, rj), zj) in rz.iter_mut().zip(ri).zip(zi) {
@@ -622,9 +734,8 @@ pub(crate) fn preconditioned_cg_block(
     }
     let mut pap = vec![0.0f64; k];
     let mut alpha = vec![0.0f64; k];
-    let mut norm_r = vec![0.0f64; k];
     for it in 0..max_iter {
-        a.mul_block_into(&p, &mut ap, k);
+        a.apply_block_into(&p, &mut ap, k);
         pap.fill(0.0);
         for (pi, api) in p.chunks_exact(k).zip(ap.chunks_exact(k)) {
             for ((pj, aj), acc) in pi.iter().zip(api).zip(pap.iter_mut()) {
@@ -666,7 +777,7 @@ pub(crate) fn preconditioned_cg_block(
         if !any_active {
             return Ok((x, stats));
         }
-        precond.apply_block_into(&r, &mut z, k);
+        precond.precondition_block_into(&r, &mut z, k, &mut ws);
         let mut rz_new = vec![0.0f64; k];
         for (ri, zi) in r.chunks_exact(k).zip(z.chunks_exact(k)) {
             for ((acc, rj), zj) in rz_new.iter_mut().zip(ri).zip(zi) {
@@ -818,7 +929,8 @@ mod tests {
                 block[i * k + j] = b[i];
             }
         }
-        let (x, stats) = preconditioned_cg_block(&a, &block, k, 1e-11, 10 * n, &precond).unwrap();
+        let (x, stats) =
+            preconditioned_cg_block(&a, &block, k, 1e-11, 10 * n, &precond, None).unwrap();
         assert_eq!(stats[0], (0, 0.0), "zero RHS converges instantly");
         for (j, b) in singles.iter().enumerate() {
             let (want, _, _) = preconditioned_cg(&a, b, 1e-11, 10 * n, &precond).unwrap();
@@ -865,6 +977,45 @@ mod tests {
                 assert!((z_block[i * k + j] - z[i]).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn warm_started_block_cg_matches_and_saves_iterations() {
+        let n = 160;
+        let a = laplacian_chain(n);
+        // Jacobi, not IC(0): the incomplete factor is *exact* on a
+        // tridiagonal chain, which would leave no iterations to save.
+        let precond = Preconditioner::jacobi(&a);
+        let mut b = vec![0.0; n];
+        b[n / 3] = 1.0;
+        b[2 * n / 3] = -0.5;
+        let (cold, cold_stats) =
+            preconditioned_cg_block(&a, &b, 1, 1e-11, 10 * n, &precond, None).unwrap();
+        // Seeding with the exact solution converges without iterating.
+        let (hot, hot_stats) =
+            preconditioned_cg_block(&a, &b, 1, 1e-11, 10 * n, &precond, Some(&cold)).unwrap();
+        assert_eq!(hot_stats[0].0, 0, "exact seed needs no iterations");
+        for (a, b) in cold.iter().zip(&hot) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // A partially-converged solution as seed picks up roughly where
+        // it left off instead of starting over.
+        let (rough, _) = preconditioned_cg_block(&a, &b, 1, 1e-4, 10 * n, &precond, None).unwrap();
+        let (_, near_stats) =
+            preconditioned_cg_block(&a, &b, 1, 1e-11, 10 * n, &precond, Some(&rough)).unwrap();
+        assert!(
+            near_stats[0].0 < cold_stats[0].0,
+            "seeded {} vs cold {}",
+            near_stats[0].0,
+            cold_stats[0].0
+        );
+        // A zero-RHS system ignores its seed entirely.
+        let zeros = vec![0.0; n];
+        let junk = vec![1.0; n];
+        let (x, stats) =
+            preconditioned_cg_block(&a, &zeros, 1, 1e-11, 10, &precond, Some(&junk)).unwrap();
+        assert_eq!(stats[0], (0, 0.0));
+        assert!(x.iter().all(|&v| v == 0.0));
     }
 
     #[test]

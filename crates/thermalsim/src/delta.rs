@@ -31,6 +31,16 @@ use crate::{FactorizedThermalModel, GridSpec, ThermalError, ThermalMap};
 /// amortize.
 const COLUMN_BATCH: usize = 32;
 
+/// Furthest neighbouring column (Manhattan distance in bins) still used
+/// as a warm-start seed: beyond a few bins the shifted field has decayed
+/// enough that the seed stops paying for itself.
+const SEED_RADIUS: usize = 6;
+
+/// Hard cap on retained full solver-space seed columns, independent of
+/// budget (seeds beyond the most recent few dozen are rarely the nearest
+/// neighbour of anything new).
+const SEED_CAPACITY_MAX: usize = 48;
+
 /// Relative tolerance of influence-column solves. Columns weight small
 /// power *corrections* on top of a fully-converged baseline, so a
 /// `1e-6`-relative column error contributes microkelvin to ΔT — orders
@@ -49,10 +59,72 @@ struct CachedColumn {
     response: Arc<Vec<f64>>,
 }
 
+/// One retained full solver-space column, kept (in a much smaller LRU
+/// than the response cache — full columns are `nz×` larger) so future
+/// neighbouring columns can warm-start their CG solve from its laterally
+/// shifted field.
+struct CachedSeed {
+    stamp: u64,
+    full: Arc<Vec<f64>>,
+}
+
 /// The lazily-populated, memory-bounded influence-column store.
 struct ColumnCache {
     columns: HashMap<usize, CachedColumn>,
+    seeds: HashMap<usize, CachedSeed>,
     clock: u64,
+}
+
+/// Evicts the oldest-stamped entries of `map` until it fits `capacity` —
+/// the one LRU policy both the response cache and the seed store follow.
+fn evict_lru<T>(map: &mut HashMap<usize, T>, capacity: usize, stamp_of: impl Fn(&T) -> u64) {
+    while map.len() > capacity {
+        let oldest = map
+            .iter()
+            .min_by_key(|(_, entry)| stamp_of(entry))
+            .map(|(&cell, _)| cell)
+            .expect("non-empty over-capacity store");
+        map.remove(&oldest);
+    }
+}
+
+/// Cumulative CG iteration counters of the influence-column solves,
+/// split by whether the column was warm-started from a neighbouring
+/// cached column — the measurement behind the bench pipeline's
+/// warm-start savings report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Columns solved from a zero initial guess.
+    pub unseeded_columns: usize,
+    /// Total CG iterations across unseeded columns.
+    pub unseeded_iterations: usize,
+    /// Columns warm-started from a shifted neighbouring column.
+    pub seeded_columns: usize,
+    /// Total CG iterations across seeded columns.
+    pub seeded_iterations: usize,
+}
+
+impl ColumnStats {
+    /// Mean iterations per unseeded column (`None` when none ran).
+    pub fn unseeded_mean(&self) -> Option<f64> {
+        (self.unseeded_columns > 0)
+            .then(|| self.unseeded_iterations as f64 / self.unseeded_columns as f64)
+    }
+
+    /// Mean iterations per seeded column (`None` when none ran).
+    pub fn seeded_mean(&self) -> Option<f64> {
+        (self.seeded_columns > 0)
+            .then(|| self.seeded_iterations as f64 / self.seeded_columns as f64)
+    }
+
+    /// Fractional iteration saving of seeded over unseeded columns
+    /// (`None` until both kinds have run).
+    pub fn savings(&self) -> Option<f64> {
+        match (self.unseeded_mean(), self.seeded_mean()) {
+            (Some(cold), Some(warm)) if cold > 0.0 => Some(1.0 - warm / cold),
+            _ => None,
+        }
+    }
 }
 
 /// The outcome of one [`DeltaThermalModel::evaluate_delta`] call.
@@ -111,13 +183,20 @@ pub struct DeltaThermalModel {
     baseline_power: Grid2d<f64>,
     baseline: ThermalMap,
     cache: Mutex<ColumnCache>,
-    /// Cached columns kept at most (LRU eviction beyond this).
+    /// Cached columns kept at most (LRU eviction beyond this). Derived
+    /// from the memory budget by default.
     column_capacity: usize,
+    /// Full solver-space seed columns kept at most.
+    seed_capacity: usize,
     /// Perturbations needing more than this many *uncached* columns fall
     /// back to one exact re-solve instead of populating the cache.
     max_new_columns: usize,
     superposed: AtomicUsize,
     fallbacks: AtomicUsize,
+    unseeded_columns: AtomicUsize,
+    unseeded_iterations: AtomicUsize,
+    seeded_columns: AtomicUsize,
+    seeded_iterations: AtomicUsize,
 }
 
 impl std::fmt::Debug for DeltaThermalModel {
@@ -132,9 +211,12 @@ impl std::fmt::Debug for DeltaThermalModel {
 }
 
 impl DeltaThermalModel {
-    /// Default bound on cached influence columns (a 40×40 mesh column is
-    /// ~12.8 KB, so the cache tops out around 13 MB).
-    pub const DEFAULT_COLUMN_CAPACITY: usize = 1024;
+    /// Default memory budget for the influence-column stores, bytes. The
+    /// LRU capacity is *derived* from this (`budget / bytes_per_column`),
+    /// so a 128×128 mesh — whose columns are ~10× a 40×40 mesh's — holds
+    /// proportionally fewer columns instead of silently growing resident
+    /// memory with a fixed entry count.
+    pub const DEFAULT_MEMORY_BUDGET_BYTES: usize = 48 << 20;
 
     /// Default densest perturbation served by superposition when its
     /// columns are not cached yet: populating more columns than this per
@@ -142,7 +224,8 @@ impl DeltaThermalModel {
     pub const DEFAULT_MAX_NEW_COLUMNS: usize = 32;
 
     /// Wraps `model` around a baseline power map, solving the baseline
-    /// field once.
+    /// field once. The column cache is sized by
+    /// [`DeltaThermalModel::DEFAULT_MEMORY_BUDGET_BYTES`].
     ///
     /// # Errors
     ///
@@ -153,18 +236,54 @@ impl DeltaThermalModel {
         model: Arc<FactorizedThermalModel>,
         baseline_power: &Grid2d<f64>,
     ) -> Result<Self, ThermalError> {
-        Self::with_limits(
+        Self::with_memory_budget(model, baseline_power, Self::DEFAULT_MEMORY_BUDGET_BYTES)
+    }
+
+    /// Like [`DeltaThermalModel::new`] with an explicit memory budget:
+    /// the response-column LRU gets ¾ of `budget_bytes`
+    /// (`nx·ny·8` bytes per column) and the warm-start seed store the
+    /// rest (`unknowns·8` bytes per retained full column, capped at a few
+    /// dozen entries).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DeltaThermalModel::new`].
+    pub fn with_memory_budget(
+        model: Arc<FactorizedThermalModel>,
+        baseline_power: &Grid2d<f64>,
+        budget_bytes: usize,
+    ) -> Result<Self, ThermalError> {
+        let (column_capacity, seed_capacity) = Self::budgeted_capacities(&model, budget_bytes);
+        let baseline = model.solve(baseline_power)?;
+        Self::assemble(
             model,
             baseline_power,
-            Self::DEFAULT_COLUMN_CAPACITY,
+            baseline,
+            column_capacity,
+            seed_capacity,
             Self::DEFAULT_MAX_NEW_COLUMNS,
         )
     }
 
-    /// Like [`DeltaThermalModel::new`] with explicit cache bounds:
+    /// Derives `(column_capacity, seed_capacity)` from a byte budget: ¾
+    /// for active-layer responses (`nx·ny·8` bytes each), ¼ for full
+    /// solver-space seed columns (`unknowns·8` bytes each, capped at a
+    /// few dozen entries).
+    fn budgeted_capacities(model: &FactorizedThermalModel, budget_bytes: usize) -> (usize, usize) {
+        let GridSpec { nx, ny } = model.config().grid;
+        let response_bytes = (nx * ny).max(1) * std::mem::size_of::<f64>();
+        let full_bytes = model.unknowns().max(nx * ny).max(1) * std::mem::size_of::<f64>();
+        let column_capacity = (budget_bytes * 3 / 4 / response_bytes).max(8);
+        let seed_capacity = (budget_bytes / 4 / full_bytes).clamp(2, SEED_CAPACITY_MAX);
+        (column_capacity, seed_capacity)
+    }
+
+    /// Like [`DeltaThermalModel::new`] with explicit entry-count bounds:
     /// `column_capacity` caps the LRU column store and `max_new_columns`
     /// caps how many columns one evaluation may materialize before the
-    /// model prefers an exact re-solve.
+    /// model prefers an exact re-solve. Prefer
+    /// [`DeltaThermalModel::with_memory_budget`] outside tests — entry
+    /// counts do not track mesh size.
     ///
     /// # Errors
     ///
@@ -176,11 +295,13 @@ impl DeltaThermalModel {
         max_new_columns: usize,
     ) -> Result<Self, ThermalError> {
         let baseline = model.solve(baseline_power)?;
+        let seed_capacity = column_capacity.clamp(2, SEED_CAPACITY_MAX);
         Self::assemble(
             model,
             baseline_power,
             baseline,
             column_capacity,
+            seed_capacity,
             max_new_columns,
         )
     }
@@ -199,11 +320,14 @@ impl DeltaThermalModel {
         baseline_power: &Grid2d<f64>,
         baseline: ThermalMap,
     ) -> Result<Self, ThermalError> {
+        let (column_capacity, seed_capacity) =
+            Self::budgeted_capacities(&model, Self::DEFAULT_MEMORY_BUDGET_BYTES);
         Self::assemble(
             model,
             baseline_power,
             baseline,
-            Self::DEFAULT_COLUMN_CAPACITY,
+            column_capacity,
+            seed_capacity,
             Self::DEFAULT_MAX_NEW_COLUMNS,
         )
     }
@@ -213,6 +337,7 @@ impl DeltaThermalModel {
         baseline_power: &Grid2d<f64>,
         baseline: ThermalMap,
         column_capacity: usize,
+        seed_capacity: usize,
         max_new_columns: usize,
     ) -> Result<Self, ThermalError> {
         let GridSpec { nx, ny } = model.config().grid;
@@ -229,12 +354,18 @@ impl DeltaThermalModel {
             baseline,
             cache: Mutex::new(ColumnCache {
                 columns: HashMap::new(),
+                seeds: HashMap::new(),
                 clock: 0,
             }),
             column_capacity: column_capacity.max(1),
+            seed_capacity: seed_capacity.max(1),
             max_new_columns: max_new_columns.min(column_capacity.max(1)),
             superposed: AtomicUsize::new(0),
             fallbacks: AtomicUsize::new(0),
+            unseeded_columns: AtomicUsize::new(0),
+            unseeded_iterations: AtomicUsize::new(0),
+            seeded_columns: AtomicUsize::new(0),
+            seeded_iterations: AtomicUsize::new(0),
         })
     }
 
@@ -270,6 +401,23 @@ impl DeltaThermalModel {
     /// Evaluations that fell back to an exact re-solve so far.
     pub fn exact_fallbacks(&self) -> usize {
         self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// The response-column LRU capacity this model was sized to (entries;
+    /// derived from the memory budget unless set via
+    /// [`DeltaThermalModel::with_limits`]).
+    pub fn column_capacity(&self) -> usize {
+        self.column_capacity
+    }
+
+    /// CG iteration counters of the column solves, split by warm-start.
+    pub fn column_stats(&self) -> ColumnStats {
+        ColumnStats {
+            unseeded_columns: self.unseeded_columns.load(Ordering::Relaxed),
+            unseeded_iterations: self.unseeded_iterations.load(Ordering::Relaxed),
+            seeded_columns: self.seeded_columns.load(Ordering::Relaxed),
+            seeded_iterations: self.seeded_iterations.load(Ordering::Relaxed),
+        }
     }
 
     /// Evaluates the field for `baseline power + deltas`, where each
@@ -370,50 +518,93 @@ impl DeltaThermalModel {
     }
 
     /// Solves and caches the influence columns of `cells` (assumed
-    /// uncached), in blocked batches.
+    /// uncached), in blocked batches. Each new column is warm-started
+    /// from the nearest already-retained neighbouring column, laterally
+    /// shifted into place (see
+    /// `FactorizedThermalModel::shift_column`) — measured to cut a
+    /// substantial fraction of the CG iterations once the first batch has
+    /// seeded the store.
     fn materialize(&self, cache: &mut ColumnCache, cells: &[usize]) -> Result<(), ThermalError> {
+        let GridSpec { nx, .. } = self.model.config().grid;
         for chunk in cells.chunks(COLUMN_BATCH) {
-            let nodes: Vec<_> = chunk
+            // Pick each new cell's nearest retained seed first (immutable
+            // scan), then refresh the used seeds' LRU stamps — a seed
+            // that keeps warm-starting its neighbourhood must not be the
+            // next one evicted.
+            let choices: Vec<Option<usize>> = chunk
                 .iter()
-                .map(|&cell| self.model.active_nodes()[cell])
+                .map(|&cell| {
+                    let (ix, iy) = (cell % nx, cell / nx);
+                    let (dist, from) = cache
+                        .seeds
+                        .keys()
+                        .map(|&from| {
+                            let (fx, fy) = (from % nx, from / nx);
+                            (ix.abs_diff(fx) + iy.abs_diff(fy), from)
+                        })
+                        .min()?;
+                    (dist <= SEED_RADIUS).then_some(from)
+                })
                 .collect();
-            let columns = self
-                .model
-                .factored()
-                .influence_columns_with(&nodes, COLUMN_TOLERANCE.max(self.model.config().tolerance))
-                .map_err(ThermalError::Solve)?;
-            for (&cell, full) in chunk.iter().zip(&columns) {
-                let response: Vec<f64> = self
-                    .model
-                    .active_nodes()
-                    .iter()
-                    .map(|node| full[node.index()])
-                    .collect();
+            let seeds: Vec<Option<Vec<f64>>> = chunk
+                .iter()
+                .zip(&choices)
+                .map(|(&cell, &choice)| {
+                    let from = choice?;
+                    cache.clock += 1;
+                    let stamp = cache.clock;
+                    let seed = cache.seeds.get_mut(&from).expect("chosen seed retained");
+                    seed.stamp = stamp;
+                    let (ix, iy) = (cell % nx, cell / nx);
+                    let (fx, fy) = (from % nx, from / nx);
+                    Some(self.model.shift_column(
+                        &seed.full,
+                        ix as isize - fx as isize,
+                        iy as isize - fy as isize,
+                    ))
+                })
+                .collect();
+            let seed_refs: Vec<Option<&[f64]>> = seeds.iter().map(|s| s.as_deref()).collect();
+            let columns = self.model.influence_columns_cells(
+                chunk,
+                COLUMN_TOLERANCE.max(self.model.config().tolerance),
+                &seed_refs,
+            )?;
+            for ((&cell, column), seeded) in chunk.iter().zip(columns).zip(&seed_refs) {
+                if seeded.is_some() {
+                    self.seeded_columns.fetch_add(1, Ordering::Relaxed);
+                    self.seeded_iterations
+                        .fetch_add(column.iterations, Ordering::Relaxed);
+                } else {
+                    self.unseeded_columns.fetch_add(1, Ordering::Relaxed);
+                    self.unseeded_iterations
+                        .fetch_add(column.iterations, Ordering::Relaxed);
+                }
                 cache.clock += 1;
                 let stamp = cache.clock;
                 cache.columns.insert(
                     cell,
                     CachedColumn {
                         stamp,
-                        response: Arc::new(response),
+                        response: Arc::new(column.active),
+                    },
+                );
+                cache.seeds.insert(
+                    cell,
+                    CachedSeed {
+                        stamp,
+                        full: Arc::new(column.full),
                     },
                 );
             }
+            evict_lru(&mut cache.seeds, self.seed_capacity, |s| s.stamp);
         }
         Ok(())
     }
 
-    /// Evicts beyond capacity, oldest stamp first.
+    /// Evicts response columns beyond capacity, oldest stamp first.
     fn evict_over_capacity(&self, cache: &mut ColumnCache) {
-        while cache.columns.len() > self.column_capacity {
-            let oldest = cache
-                .columns
-                .iter()
-                .min_by_key(|(_, c)| c.stamp)
-                .map(|(&cell, _)| cell)
-                .expect("non-empty over-capacity cache");
-            cache.columns.remove(&oldest);
-        }
+        evict_lru(&mut cache.columns, self.column_capacity, |c| c.stamp);
     }
 
     /// Superposes cached (and, within budget, freshly materialized)
@@ -574,6 +765,61 @@ mod tests {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
         assert!(delta.warm_columns(&[(8, 0)]).is_err(), "out of range");
+    }
+
+    #[test]
+    fn memory_budget_sizes_the_cache_by_column_bytes() {
+        let (model, power) = setup(8, 8);
+        // 1 MiB budget, 64-bin responses: ¾·1 MiB / 512 B = 1536 columns.
+        let delta =
+            DeltaThermalModel::with_memory_budget(Arc::clone(&model), &power, 1 << 20).unwrap();
+        assert_eq!(delta.column_capacity(), (1 << 20) * 3 / 4 / 512);
+        // A tiny budget still leaves a working cache.
+        let tiny = DeltaThermalModel::with_memory_budget(Arc::clone(&model), &power, 0).unwrap();
+        assert!(tiny.column_capacity() >= 8);
+        // Ten times the mesh area → a tenth of the entries, same bytes.
+        let (big_model, big_power) = setup(26, 26);
+        let big =
+            DeltaThermalModel::with_memory_budget(Arc::clone(&big_model), &big_power, 1 << 20)
+                .unwrap();
+        assert!(
+            big.column_capacity() * (26 * 26) <= delta.column_capacity() * 64 + 26 * 26 * 8,
+            "capacity must shrink with per-column bytes: {} at 26x26 vs {} at 8x8",
+            big.column_capacity(),
+            delta.column_capacity()
+        );
+    }
+
+    #[test]
+    fn neighbouring_columns_warm_start_and_stay_exact() {
+        let (model, power) = setup(12, 12);
+        let delta = DeltaThermalModel::new(Arc::clone(&model), &power).unwrap();
+        // First batch: cold, seeds the store.
+        delta.warm_columns(&[(5, 5), (6, 5)]).unwrap();
+        let after_cold = delta.column_stats();
+        assert_eq!(after_cold.unseeded_columns, 2);
+        assert_eq!(after_cold.seeded_columns, 0);
+        // Neighbouring columns now warm-start from the shifted seeds.
+        delta.warm_columns(&[(5, 6), (7, 5)]).unwrap();
+        let stats = delta.column_stats();
+        assert_eq!(stats.seeded_columns, 2);
+        assert!(
+            stats.seeded_mean().unwrap() < stats.unseeded_mean().unwrap(),
+            "seeded columns must take fewer iterations: {stats:?}"
+        );
+        assert!(stats.savings().unwrap() > 0.0);
+        // Seeded columns superpose as exactly as cold ones.
+        let moves = [(5usize, 6usize, 2e-4), (7, 5, 3e-4)];
+        let got = delta.evaluate_delta(&moves).unwrap();
+        assert!(!got.exact);
+        let mut perturbed = power.clone();
+        for &(ix, iy, dw) in &moves {
+            *perturbed.get_mut(ix, iy) += dw;
+        }
+        let want = model.solve(&perturbed).unwrap();
+        for ((_, a), (_, b)) in got.map.grid().iter().zip(want.grid().iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -38,8 +38,8 @@ mod network;
 mod sim;
 mod stack;
 
-pub use delta::{DeltaEvaluation, DeltaThermalModel};
+pub use delta::{ColumnStats, DeltaEvaluation, DeltaThermalModel};
 pub use map::ThermalMap;
 pub use model::FactorizedThermalModel;
-pub use sim::{GridSpec, ThermalConfig, ThermalError, ThermalSimulator};
+pub use sim::{GridSpec, SolverKind, ThermalConfig, ThermalError, ThermalSimulator};
 pub use stack::{Layer, LayerStack};

@@ -9,16 +9,53 @@
 //! preconditioning the network per solve is pure waste. A
 //! [`FactorizedThermalModel`] pays that cost once per geometry and turns
 //! every subsequent evaluation into a preconditioned re-solve.
+//!
+//! Two solver backends sit behind the same API (selected by
+//! [`SolverKind`](crate::SolverKind)):
+//!
+//! * **Structured (default)** — the mesh is a pure 7-point stencil, so
+//!   the model solves it through
+//!   [`spicenet::FactorizedStencil`]: an indirection-free fused stencil
+//!   matvec preconditioned by a geometric multigrid V-cycle, with
+//!   near-mesh-independent iteration counts. This is what makes the
+//!   large-mesh scenario band (80×80, 128×128) practical.
+//! * **CSR** — the general [`spicenet::FactorizedCircuit`] path
+//!   (Dirichlet reduction + MIC(0)-preconditioned CG), kept as the
+//!   fallback for irregular geometries and as the cross-check oracle the
+//!   property tests pin the structured path against (≤ 1e-6 K).
 
 use geom::{Grid2d, Rect};
-use spicenet::{FactorizedCircuit, NodeId, SolveOptions};
+use spicenet::{FactorizedCircuit, FactorizedStencil, NodeId, SolveOptions};
 
-use crate::network::{build_geometry, validate_power};
-use crate::{GridSpec, ThermalConfig, ThermalError, ThermalMap};
+use crate::network::{build_geometry, validate_power, EmitSystem};
+use crate::{GridSpec, SolverKind, ThermalConfig, ThermalError, ThermalMap};
+
+/// One materialized influence column, in both the shapes its consumers
+/// need: the active-layer response (what superposition weights) and the
+/// full solver-space vector (an opaque warm-start seed for neighbouring
+/// columns), plus the CG iterations the solve took.
+pub(crate) struct InfluenceColumn {
+    /// Response at every active-layer cell, `iy·nx + ix` order (K/W).
+    pub active: Vec<f64>,
+    /// Full solver-space column — backend-specific layout, only useful
+    /// as a seed for [`FactorizedThermalModel::influence_columns_cells`].
+    pub full: Vec<f64>,
+    /// CG iterations spent on this column.
+    pub iterations: usize,
+}
+
+/// The solver backend of a factorized model.
+#[derive(Debug)]
+enum Backend {
+    /// Structured stencil matvec + geometric multigrid PCG.
+    Stencil(FactorizedStencil),
+    /// General CSR + MIC(0) PCG (fallback and cross-check oracle).
+    Csr(FactorizedCircuit),
+}
 
 /// The geometry-dependent half of a thermal solve, computed once: the
-/// assembled, Dirichlet-reduced, incomplete-Cholesky-preconditioned
-/// conductance system plus the active-layer node map.
+/// assembled and preconditioned conductance system plus the active-layer
+/// bookkeeping.
 ///
 /// Solutions match [`ThermalSimulator::solve`](crate::ThermalSimulator)
 /// to within the configured solver tolerance. The model is plain data
@@ -46,8 +83,15 @@ use crate::{GridSpec, ThermalConfig, ThermalError, ThermalMap};
 pub struct FactorizedThermalModel {
     config: ThermalConfig,
     die: Rect,
-    factored: FactorizedCircuit,
+    backend: Backend,
+    /// Active-layer node ids in `iy·nx + ix` order (CSR addressing;
+    /// empty on the stencil backend, which addresses cells
+    /// arithmetically).
     active_nodes: Vec<NodeId>,
+    /// Mesh layers (the stencil's z extent).
+    nz: usize,
+    /// Power-dissipating layer index.
+    active_layer: usize,
 }
 
 impl FactorizedThermalModel {
@@ -59,19 +103,38 @@ impl FactorizedThermalModel {
     /// Propagates circuit-construction and factorization failures.
     pub fn build(config: &ThermalConfig, die: Rect) -> Result<Self, ThermalError> {
         let GridSpec { nx, ny } = config.grid;
-        let network = build_geometry(nx, ny, die, &config.stack)?;
-        let factored = network
-            .circuit
-            .factorize(SolveOptions {
-                tolerance: config.tolerance,
-                ..Default::default()
-            })
-            .map_err(ThermalError::Solve)?;
+        // Assemble only the representation the selected backend keeps —
+        // the other one's build cost (notably ~150k interned node names
+        // for a 128×128×9 circuit) is never paid.
+        let emit = match config.solver {
+            SolverKind::Auto | SolverKind::Stencil => EmitSystem::Stencil,
+            SolverKind::Csr => EmitSystem::Circuit,
+        };
+        let network = build_geometry(nx, ny, die, &config.stack, emit)?;
+        let options = SolveOptions {
+            tolerance: config.tolerance,
+            ..Default::default()
+        };
+        let backend = match config.solver {
+            SolverKind::Auto | SolverKind::Stencil => Backend::Stencil(
+                FactorizedStencil::new(network.stencil.expect("stencil system emitted"), options)
+                    .map_err(ThermalError::Solve)?,
+            ),
+            SolverKind::Csr => Backend::Csr(
+                network
+                    .circuit
+                    .expect("circuit emitted")
+                    .factorize(options)
+                    .map_err(ThermalError::Solve)?,
+            ),
+        };
         Ok(FactorizedThermalModel {
             config: config.clone(),
             die,
-            factored,
+            backend,
             active_nodes: network.active_nodes,
+            nz: config.stack.layers().len(),
+            active_layer: config.stack.active_layer(),
         })
     }
 
@@ -85,19 +148,30 @@ impl FactorizedThermalModel {
         self.die
     }
 
-    /// Dimension of the reduced linear system.
+    /// Dimension of the linear system actually solved.
     pub fn unknowns(&self) -> usize {
-        self.factored.reduced_dim()
+        match &self.backend {
+            Backend::Stencil(f) => f.unknowns(),
+            Backend::Csr(f) => f.reduced_dim(),
+        }
     }
 
-    /// The underlying factorized circuit (for the delta-evaluation layer).
-    pub(crate) fn factored(&self) -> &FactorizedCircuit {
-        &self.factored
+    /// Human-readable name of the active solver backend.
+    pub fn solver_name(&self) -> &'static str {
+        match &self.backend {
+            Backend::Stencil(_) => "stencil-multigrid",
+            Backend::Csr(_) => "csr-mic0",
+        }
     }
 
-    /// Active-layer node ids in `iy * nx + ix` order.
-    pub(crate) fn active_nodes(&self) -> &[NodeId] {
-        &self.active_nodes
+    /// `true` when the model runs the structured stencil path.
+    pub fn is_structured(&self) -> bool {
+        matches!(self.backend, Backend::Stencil(_))
+    }
+
+    /// Grid-cell index of an active-layer bin (stencil addressing).
+    fn grid_cell(&self, bin: usize) -> usize {
+        bin * self.nz + self.active_layer
     }
 
     /// Solves the steady-state field for one power map (watts per thermal
@@ -109,35 +183,153 @@ impl FactorizedThermalModel {
     /// [`ThermalError::InvalidPower`] for a bad power map and
     /// [`ThermalError::Solve`] if the re-solve fails.
     pub fn solve(&self, power: &Grid2d<f64>) -> Result<ThermalMap, ThermalError> {
+        self.solve_with_stats(power).map(|(map, _, _)| map)
+    }
+
+    /// Like [`FactorizedThermalModel::solve`], additionally returning
+    /// `(iterations, relative_residual)` of the re-solve — the
+    /// diagnostics behind the bench pipeline's solver-scaling section.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FactorizedThermalModel::solve`].
+    pub fn solve_with_stats(
+        &self,
+        power: &Grid2d<f64>,
+    ) -> Result<(ThermalMap, usize, f64), ThermalError> {
         let GridSpec { nx, ny } = self.config.grid;
         validate_power(nx, ny, power)?;
-        let mut injections = Vec::with_capacity(nx * ny);
-        for iy in 0..ny {
-            for ix in 0..nx {
-                let watts = *power.get(ix, iy);
-                if watts > 0.0 {
-                    injections.push((self.active_nodes[iy * nx + ix], watts));
-                }
-            }
-        }
-        let volts = self
-            .factored
-            .solve_injections(&injections)
-            .map_err(ThermalError::Solve)?;
         let mut grid = Grid2d::new(nx, ny, self.die, 0.0);
-        for iy in 0..ny {
-            for ix in 0..nx {
-                *grid.get_mut(ix, iy) = volts[self.active_nodes[iy * nx + ix].index()];
+        let (iterations, residual) = match &self.backend {
+            Backend::Stencil(f) => {
+                let mut injections = Vec::with_capacity(nx * ny);
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let watts = *power.get(ix, iy);
+                        if watts > 0.0 {
+                            injections.push((self.grid_cell(iy * nx + ix), watts));
+                        }
+                    }
+                }
+                let (temps, iterations, residual) = f
+                    .solve_injections_stats(&injections)
+                    .map_err(ThermalError::Solve)?;
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        *grid.get_mut(ix, iy) = temps[self.grid_cell(iy * nx + ix)];
+                    }
+                }
+                (iterations, residual)
+            }
+            Backend::Csr(f) => {
+                let mut injections = Vec::with_capacity(nx * ny);
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let watts = *power.get(ix, iy);
+                        if watts > 0.0 {
+                            injections.push((self.active_nodes[iy * nx + ix], watts));
+                        }
+                    }
+                }
+                let (volts, iterations, residual) = f
+                    .solve_injections_stats(&injections)
+                    .map_err(ThermalError::Solve)?;
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        *grid.get_mut(ix, iy) = volts[self.active_nodes[iy * nx + ix].index()];
+                    }
+                }
+                (iterations, residual)
+            }
+        };
+        Ok((
+            ThermalMap::new(grid, self.config.stack.ambient_c),
+            iterations,
+            residual,
+        ))
+    }
+
+    /// Materializes influence columns for active-layer bins (`iy·nx + ix`
+    /// indices) as one blocked, optionally warm-started solve at
+    /// `tolerance`. `seeds` is empty or one (backend-specific,
+    /// solver-space) seed slot per bin, as previously returned in
+    /// [`InfluenceColumn::full`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::Solve`] if the blocked solve fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bin index is out of range or a seed has a foreign
+    /// length.
+    pub(crate) fn influence_columns_cells(
+        &self,
+        bins: &[usize],
+        tolerance: f64,
+        seeds: &[Option<&[f64]>],
+    ) -> Result<Vec<InfluenceColumn>, ThermalError> {
+        match &self.backend {
+            Backend::Stencil(f) => {
+                let GridSpec { nx, ny } = self.config.grid;
+                let cells: Vec<usize> = bins.iter().map(|&b| self.grid_cell(b)).collect();
+                let columns = f
+                    .influence_columns_seeded(&cells, tolerance, seeds)
+                    .map_err(ThermalError::Solve)?;
+                Ok(columns
+                    .into_iter()
+                    .map(|(full, iterations)| InfluenceColumn {
+                        active: (0..nx * ny).map(|bin| full[self.grid_cell(bin)]).collect(),
+                        full,
+                        iterations,
+                    })
+                    .collect())
+            }
+            Backend::Csr(f) => {
+                let nodes: Vec<NodeId> = bins.iter().map(|&b| self.active_nodes[b]).collect();
+                let columns = f
+                    .influence_columns_seeded(&nodes, tolerance, seeds)
+                    .map_err(ThermalError::Solve)?;
+                Ok(columns
+                    .into_iter()
+                    .map(|(full, iterations)| InfluenceColumn {
+                        active: self.active_nodes.iter().map(|n| full[n.index()]).collect(),
+                        full,
+                        iterations,
+                    })
+                    .collect())
             }
         }
-        Ok(ThermalMap::new(grid, self.config.stack.ambient_c))
+    }
+
+    /// Laterally translates a solver-space column by `(dx, dy)` thermal
+    /// bins (clamped at the die edge), leaving non-grid slots (border /
+    /// pinned nodes) untouched. Because the mesh is near
+    /// translation-invariant away from its boundaries, the shifted column
+    /// of a neighbouring injection is an excellent warm-start seed for a
+    /// new influence column — this is what turns cached columns into CG
+    /// iteration savings.
+    pub(crate) fn shift_column(&self, full: &[f64], dx: isize, dy: isize) -> Vec<f64> {
+        let GridSpec { nx, ny } = self.config.grid;
+        let nz = self.nz;
+        let mut out = full.to_vec();
+        for iy in 0..ny {
+            let fy = (iy as isize - dy).clamp(0, ny as isize - 1) as usize;
+            for ix in 0..nx {
+                let fx = (ix as isize - dx).clamp(0, nx as isize - 1) as usize;
+                let to = (iy * nx + ix) * nz;
+                let from = (fy * nx + fx) * nz;
+                out[to..to + nz].copy_from_slice(&full[from..from + nz]);
+            }
+        }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ThermalSimulator;
+    use crate::{SolverKind, ThermalSimulator};
 
     fn die() -> Rect {
         Rect::new(0.0, 0.0, 335.0, 335.0)
@@ -148,6 +340,7 @@ mod tests {
         let config = ThermalConfig::with_resolution(12, 12);
         let sim = ThermalSimulator::new(config.clone());
         let model = FactorizedThermalModel::build(&config, die()).unwrap();
+        assert!(model.is_structured(), "Auto selects the stencil path");
         let mut p = Grid2d::new(12, 12, die(), 0.0);
         *p.get_mut(2, 9) = 3e-3;
         *p.get_mut(8, 3) = 1e-3;
@@ -155,6 +348,27 @@ mod tests {
         let cached = model.solve(&p).unwrap();
         for ((_, a), (_, b)) in fresh.grid().iter().zip(cached.grid().iter()) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forced_csr_backend_matches_the_structured_default() {
+        let config = ThermalConfig::with_resolution(10, 10);
+        let csr =
+            FactorizedThermalModel::build(&config.clone().with_solver(SolverKind::Csr), die())
+                .unwrap();
+        assert!(!csr.is_structured());
+        assert_eq!(csr.solver_name(), "csr-mic0");
+        let stencil =
+            FactorizedThermalModel::build(&config.with_solver(SolverKind::Stencil), die()).unwrap();
+        assert_eq!(stencil.solver_name(), "stencil-multigrid");
+        let mut p = Grid2d::new(10, 10, die(), 0.0);
+        *p.get_mut(3, 3) = 2e-3;
+        *p.get_mut(7, 6) = 5e-4;
+        let a = csr.solve(&p).unwrap();
+        let b = stencil.solve(&p).unwrap();
+        for ((_, x), (_, y)) in a.grid().iter().zip(b.grid().iter()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
         }
     }
 
@@ -191,6 +405,24 @@ mod tests {
         assert_eq!(model.die(), die());
         assert!(model.unknowns() > 0);
     }
+
+    #[test]
+    fn shifted_columns_translate_the_field() {
+        let config = ThermalConfig::with_resolution(8, 8);
+        let model = FactorizedThermalModel::build(&config, die()).unwrap();
+        let cols = model
+            .influence_columns_cells(&[3 * 8 + 3], 1e-9, &[])
+            .unwrap();
+        let shifted = model.shift_column(&cols[0].full, 1, 0);
+        // The shifted column's peak sits one bin to the right.
+        let peak_of = |col: &[f64]| {
+            (0..64)
+                .max_by(|&a, &b| col[model.grid_cell(a)].total_cmp(&col[model.grid_cell(b)]))
+                .unwrap()
+        };
+        assert_eq!(peak_of(&cols[0].full), 3 * 8 + 3);
+        assert_eq!(peak_of(&shifted), 3 * 8 + 4);
+    }
 }
 
 #[cfg(test)]
@@ -203,13 +435,13 @@ mod iter_probe {
         let die = Rect::new(0.0, 0.0, 373.5, 375.3);
         let config = ThermalConfig::paper();
         let model = FactorizedThermalModel::build(&config, die).unwrap();
-        let nodes: Vec<_> = (0..32).map(|i| model.active_nodes()[820 + i]).collect();
+        let bins: Vec<usize> = (0..32).map(|i| 820 + i).collect();
         for tol in [1e-9f64, 1e-6] {
             for k in [1usize, 8, 16, 32] {
                 let started = std::time::Instant::now();
                 let mut total = 0;
-                for chunk in nodes.chunks(k) {
-                    model.factored().influence_columns_with(chunk, tol).unwrap();
+                for chunk in bins.chunks(k) {
+                    model.influence_columns_cells(chunk, tol, &[]).unwrap();
                     total += chunk.len();
                 }
                 println!(
@@ -223,28 +455,28 @@ mod iter_probe {
     #[test]
     #[ignore]
     fn print_iteration_counts() {
-        for n in [20usize, 40] {
+        for n in [20usize, 40, 80, 128] {
             let die = Rect::new(0.0, 0.0, 373.5, 375.3);
-            let config = ThermalConfig::with_resolution(n, n);
-            let network = crate::network::build_geometry(n, n, die, &config.stack).unwrap();
-            let f = network
-                .circuit
-                .factorize(SolveOptions {
-                    tolerance: config.tolerance,
-                    ..Default::default()
-                })
-                .unwrap();
-            let inj: Vec<_> = network
-                .active_nodes
-                .iter()
-                .enumerate()
-                .map(|(i, &node)| (node, 1e-6 * (1.0 + (i % 7) as f64)))
-                .collect();
-            let (_, iters, res) = f.solve_injections_stats(&inj).unwrap();
-            println!(
-                "{n}x{n}x9: {iters} iterations, residual {res:.2e}, unknowns {}",
-                f.reduced_dim()
-            );
+            for solver in [SolverKind::Stencil, SolverKind::Csr] {
+                if solver == SolverKind::Csr && n > 80 {
+                    continue;
+                }
+                let config = ThermalConfig::with_resolution(n, n).with_solver(solver);
+                let built = std::time::Instant::now();
+                let model = FactorizedThermalModel::build(&config, die).unwrap();
+                let build_ms = built.elapsed().as_secs_f64() * 1e3;
+                let mut power = geom::Grid2d::new(n, n, die, 1e-6);
+                *power.get_mut(n / 2, n / 2) = 2e-3;
+                let solve = std::time::Instant::now();
+                let (_, iters, res) = model.solve_with_stats(&power).unwrap();
+                let solve_ms = solve.elapsed().as_secs_f64() * 1e3;
+                println!(
+                    "{n}x{n}x9 [{}]: build {build_ms:.1} ms, solve {solve_ms:.2} ms, \
+                     {iters} iterations, residual {res:.2e}, unknowns {}",
+                    model.solver_name(),
+                    model.unknowns()
+                );
+            }
         }
     }
 }

@@ -6,7 +6,7 @@
 //! the bottom layer.
 
 use geom::{Grid2d, Rect};
-use spicenet::{Circuit, NodeId, NodeRef, SolveOptions};
+use spicenet::{Circuit, LayeredStencilSpec, NodeId, NodeRef, SolveOptions, StencilSystem};
 
 use crate::{LayerStack, ThermalError};
 
@@ -14,9 +14,33 @@ const UM_TO_M: f64 = 1e-6;
 
 /// The assembled network plus the node bookkeeping needed to read back
 /// the active-layer temperatures.
+///
+/// Because the mesh is a pure 7-point stencil on a regular grid, the
+/// geometry builder can emit the system in either representation: as a
+/// [`Circuit`] (the general CSR path, kept as fallback and cross-check
+/// oracle) or as a [`StencilSystem`] (the structured multigrid path).
+/// Both are assembled from the *same* conductance values, so the two
+/// representations agree coefficient-for-coefficient — and since a
+/// 128×128×9 circuit means ~150k interned node names and ~590k resistor
+/// insertions, callers ask for exactly the representation their backend
+/// keeps (see [`EmitSystem`]) instead of paying for both.
 pub(crate) struct ThermalNetwork {
-    pub circuit: Circuit,
+    /// Present when [`EmitSystem::Circuit`] was requested.
+    pub circuit: Option<Circuit>,
+    /// Active-layer node ids (`iy·nx + ix` order); empty without a
+    /// circuit — the stencil path addresses cells arithmetically.
     pub active_nodes: Vec<NodeId>,
+    /// Present when [`EmitSystem::Stencil`] was requested.
+    pub stencil: Option<StencilSystem>,
+}
+
+/// Which representation [`build_geometry`] should assemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EmitSystem {
+    /// The resistor netlist (CSR backend and the reference solver).
+    Circuit,
+    /// The structured stencil description (multigrid backend).
+    Stencil,
 }
 
 /// Checks a power map's resolution and values against the mesh.
@@ -55,14 +79,14 @@ pub(crate) fn build_network(
     power: &Grid2d<f64>,
 ) -> Result<ThermalNetwork, ThermalError> {
     validate_power(nx, ny, power)?;
-    let mut network = build_geometry(nx, ny, die, stack)?;
+    let mut network = build_geometry(nx, ny, die, stack, EmitSystem::Circuit)?;
+    let circuit = network.circuit.as_mut().expect("circuit emitted");
     for iy in 0..ny {
         for ix in 0..nx {
             let watts = *power.get(ix, iy);
             if watts > 0.0 {
                 let node = network.active_nodes[iy * nx + ix];
-                network
-                    .circuit
+                circuit
                     .current_source(NodeRef::Ground, NodeRef::Node(node), watts)
                     .map_err(ThermalError::from_circuit)?;
             }
@@ -80,10 +104,66 @@ pub(crate) fn build_geometry(
     ny: usize,
     die: Rect,
     stack: &LayerStack,
+    emit: EmitSystem,
 ) -> Result<ThermalNetwork, ThermalError> {
     let nz = stack.layers().len();
     let dx = die.width() / nx as f64 * UM_TO_M;
     let dy = die.height() / ny as f64 * UM_TO_M;
+    let area = dx * dy;
+
+    // Every conductance value is computed once here and shared by both
+    // system representations (circuit resistors and stencil
+    // coefficients), so the structured path can never drift from the CSR
+    // oracle by construction.
+    let r_x_layers: Vec<f64> = stack
+        .layers()
+        .iter()
+        .map(|l| dx / (l.conductivity_w_mk * dy * (l.thickness_um * UM_TO_M)))
+        .collect();
+    let r_y_layers: Vec<f64> = stack
+        .layers()
+        .iter()
+        .map(|l| dy / (l.conductivity_w_mk * dx * (l.thickness_um * UM_TO_M)))
+        .collect();
+    // Vertical resistances: series half-thicknesses of adjacent layers.
+    let r_z_interfaces: Vec<f64> = stack
+        .layers()
+        .windows(2)
+        .map(|w| {
+            (w[0].thickness_um * UM_TO_M / 2.0) / (w[0].conductivity_w_mk * area)
+                + (w[1].thickness_um * UM_TO_M / 2.0) / (w[1].conductivity_w_mk * area)
+        })
+        .collect();
+    // Package boundaries: half-layer conduction plus the film coefficient.
+    let bottom = &stack.layers()[0];
+    let r_bottom = (bottom.thickness_um * UM_TO_M / 2.0) / (bottom.conductivity_w_mk * area)
+        + 1.0 / (stack.h_bottom_w_m2k * area);
+    let top = &stack.layers()[nz - 1];
+    let r_top = (top.thickness_um * UM_TO_M / 2.0) / (top.conductivity_w_mk * area)
+        + 1.0 / (stack.h_top_w_m2k * area);
+
+    if emit == EmitSystem::Stencil {
+        let gx_layers: Vec<f64> = r_x_layers.iter().map(|r| 1.0 / r).collect();
+        let gy_layers: Vec<f64> = r_y_layers.iter().map(|r| 1.0 / r).collect();
+        let gz_interfaces: Vec<f64> = r_z_interfaces.iter().map(|r| 1.0 / r).collect();
+        let stencil = StencilSystem::layered(&LayeredStencilSpec {
+            nx,
+            ny,
+            gx_layers: &gx_layers,
+            gy_layers: &gy_layers,
+            gz_interfaces: &gz_interfaces,
+            g_bottom: 1.0 / r_bottom,
+            g_top: 1.0 / r_top,
+            ambient: stack.ambient_c,
+            package_resistance: stack.package_resistance_k_w,
+        });
+        return Ok(ThermalNetwork {
+            circuit: None,
+            active_nodes: Vec::new(),
+            stencil: Some(stencil),
+        });
+    }
+
     let mut circuit = Circuit::new();
 
     // Node ids in (iy, ix, iz) order — z innermost. The z couplings are
@@ -124,12 +204,10 @@ pub(crate) fn build_geometry(
         ambient
     };
 
-    for (iz, layer) in stack.layers().iter().enumerate() {
-        let tz = layer.thickness_um * UM_TO_M;
-        let k = layer.conductivity_w_mk;
+    for iz in 0..nz {
         // Lateral resistances: R = dx / (k · dy · tz) and symmetrically.
-        let r_x = dx / (k * dy * tz);
-        let r_y = dy / (k * dx * tz);
+        let r_x = r_x_layers[iz];
+        let r_y = r_y_layers[iz];
         for iy in 0..ny {
             for ix in 0..nx {
                 let here = NodeRef::Node(node(ix, iy, iz));
@@ -147,13 +225,7 @@ pub(crate) fn build_geometry(
         }
     }
 
-    // Vertical resistances: series half-thicknesses of adjacent layers.
-    let area = dx * dy;
-    for iz in 0..nz - 1 {
-        let a = &stack.layers()[iz];
-        let b = &stack.layers()[iz + 1];
-        let r = (a.thickness_um * UM_TO_M / 2.0) / (a.conductivity_w_mk * area)
-            + (b.thickness_um * UM_TO_M / 2.0) / (b.conductivity_w_mk * area);
+    for (iz, &r) in r_z_interfaces.iter().enumerate() {
         for iy in 0..ny {
             for ix in 0..nx {
                 circuit
@@ -167,13 +239,6 @@ pub(crate) fn build_geometry(
         }
     }
 
-    // Package boundaries: half-layer conduction plus the film coefficient.
-    let bottom = &stack.layers()[0];
-    let r_bottom = (bottom.thickness_um * UM_TO_M / 2.0) / (bottom.conductivity_w_mk * area)
-        + 1.0 / (stack.h_bottom_w_m2k * area);
-    let top = &stack.layers()[nz - 1];
-    let r_top = (top.thickness_um * UM_TO_M / 2.0) / (top.conductivity_w_mk * area)
-        + 1.0 / (stack.h_top_w_m2k * area);
     for iy in 0..ny {
         for ix in 0..nx {
             circuit
@@ -202,8 +267,9 @@ pub(crate) fn build_geometry(
         .map(|(ix, iy)| node(ix, iy, active))
         .collect();
     Ok(ThermalNetwork {
-        circuit,
+        circuit: Some(circuit),
         active_nodes,
+        stencil: None,
     })
 }
 
@@ -211,6 +277,8 @@ impl ThermalNetwork {
     pub(crate) fn solve(&self, tolerance: f64) -> Result<Vec<f64>, ThermalError> {
         let sol = self
             .circuit
+            .as_ref()
+            .expect("reference solves run on the circuit representation")
             .solve(SolveOptions {
                 tolerance,
                 ..Default::default()

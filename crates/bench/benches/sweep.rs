@@ -25,6 +25,15 @@
 //! `delta`. CI gates on the 40×40×9 structured speedup (≥ 1.5×) and
 //! oracle drift (≤ 1e-6 K).
 //!
+//! Schema version 4 adds the `optimizer` section — the strategy-engine
+//! Pareto frontier on the clustered-hotspot workload: the full transform
+//! registry (paper techniques, targeted rows, hot-bin spreading,
+//! composite pipelines) × a budget grid screened through the delta
+//! surrogate, exact-verifying only the surrogate-optimal points. Emits
+//! the frontier points and the screened/exact spend split; CI gates
+//! exact verifications at ≤ 25 % of screened candidates. Records also
+//! carry the applied transform's stable id.
+//!
 //! ```sh
 //! cargo bench -p coolplace-bench --bench sweep -- \
 //!     --smoke --threads 2 --out BENCH_sweep.json --check ci/bench-baseline.json
@@ -47,8 +56,8 @@ use coolplace_bench::gate::{check_against_baseline, MAX_SPEEDUP_REGRESSION, PEAK
 use coolplace_bench::json::Json;
 use geom::{Grid2d, Rect};
 use postplace::{
-    default_threads, run_sweep, Flow, FlowConfig, FlowError, FlowReport, Strategy, SweepGrid,
-    WorkloadSpec,
+    default_threads, pareto_frontier, run_sweep, Flow, FlowConfig, FlowError, FlowReport,
+    OptimizeConfig, Strategy, SweepGrid, TransformRegistry, WorkloadSpec,
 };
 use thermalsim::{DeltaThermalModel, FactorizedThermalModel, SolverKind, ThermalConfig};
 
@@ -58,7 +67,10 @@ use thermalsim::{DeltaThermalModel, FactorizedThermalModel, SolverKind, ThermalC
 /// v3: added the `solver_scaling` section (structured-vs-CSR per-solve),
 /// the large-mesh scenario band (`band` field on records) and the
 /// warm-start fields of the `delta` section.
-const SCHEMA_VERSION: f64 = 3.0;
+/// v4: added the `optimizer` section (strategy-engine Pareto frontier
+/// with screened/exact spend accounting) and the `transform` id on
+/// records.
+const SCHEMA_VERSION: f64 = 4.0;
 
 /// In-run agreement required between the sequential reference and the
 /// engine, in kelvin — pure solver noise, no physics.
@@ -208,7 +220,16 @@ fn run_sequential(grid: &SweepGrid) -> Result<(Vec<FlowReport>, f64), FlowError>
         if !flows.contains_key(&key) {
             flows.insert(key.clone(), Flow::new(grid.scenario_config(&scenario))?);
         }
-        reports.push(flows[&key].run_reference(scenario.strategy)?);
+        // Mirror the engine's dispatch: transform-axis scenarios replay
+        // through their parsed transform, not the Strategy::None facade.
+        let report = match &scenario.transform {
+            Some(id) => {
+                let transform = TransformRegistry::parse(id)?;
+                flows[&key].run_transform_reference(transform.as_ref())?
+            }
+            None => flows[&key].run_reference(scenario.strategy)?,
+        };
+        reports.push(report);
     }
     Ok((reports, started.elapsed().as_secs_f64() * 1e3))
 }
@@ -495,6 +516,75 @@ fn run_delta_bench() -> Result<Json, String> {
     ]))
 }
 
+/// Budget grid of the optimizer bench — fine enough that the frontier
+/// interleaves several technique families.
+const OPTIMIZER_BUDGETS: [f64; 8] = [0.04, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.35];
+
+/// The `optimizer` section: the strategy engine's Pareto frontier on the
+/// clustered-hotspot workload (the regime where every technique family
+/// is in play). Hundreds of registry × budget candidates go through the
+/// delta-screening surrogate; only the surrogate-Pareto-optimal points
+/// pay an exact run, and CI gates that split.
+fn run_optimizer_bench() -> Result<Json, String> {
+    let config = FlowConfig::with_workload(WorkloadSpec::clustered_hotspot()).fast();
+    let flow = Flow::new(config).map_err(|e| e.to_string())?;
+    let registry = TransformRegistry::standard();
+    let started = Instant::now();
+    let frontier = pareto_frontier(
+        &flow,
+        &OPTIMIZER_BUDGETS,
+        &registry,
+        &OptimizeConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let kinds: std::collections::HashSet<&str> =
+        frontier.points.iter().map(|p| p.kind.as_str()).collect();
+    println!(
+        "optimizer bench [clustered]: {} screened, {} exact ({:.0}%), \
+         {} frontier points over {} kinds in {wall_ms:.0} ms",
+        frontier.screened,
+        frontier.exact_runs,
+        frontier.exact_share() * 100.0,
+        frontier.points.len(),
+        kinds.len(),
+    );
+    let points: Vec<Json> = frontier
+        .points
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("transform", Json::Str(p.transform_id.clone())),
+                ("kind", Json::Str(p.kind.clone())),
+                ("budget", Json::Num(p.budget)),
+                ("area_overhead_pct", Json::Num(p.report.area_overhead_pct)),
+                ("reduction_pct", Json::Num(p.report.reduction_pct())),
+                (
+                    "estimated_reduction_pct",
+                    Json::Num(p.estimated_reduction_pct),
+                ),
+                ("peak_after_c", Json::Num(p.report.after.peak_c)),
+            ])
+        })
+        .collect();
+    Ok(Json::obj([
+        ("workload", Json::Str("clustered".to_string())),
+        (
+            "budgets",
+            Json::Arr(OPTIMIZER_BUDGETS.iter().map(|&b| Json::Num(b)).collect()),
+        ),
+        ("registry_kinds", Json::Num(registry.len() as f64)),
+        ("candidates", Json::Num(frontier.candidates as f64)),
+        ("screened", Json::Num(frontier.screened as f64)),
+        ("exact_runs", Json::Num(frontier.exact_runs as f64)),
+        ("skipped", Json::Num(frontier.skipped as f64)),
+        ("exact_share", Json::Num(frontier.exact_share())),
+        ("frontier_kinds", Json::Num(kinds.len() as f64)),
+        ("wall_ms", Json::Num(wall_ms)),
+        ("frontier", Json::Arr(points)),
+    ]))
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let grid = build_grid(args.smoke);
@@ -614,6 +704,15 @@ fn main() -> ExitCode {
         }
     };
 
+    // The strategy engine's frontier over the transform registry.
+    let optimizer_section = match run_optimizer_bench() {
+        Ok(section) => section,
+        Err(e) => {
+            eprintln!("optimizer bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let record_json = |r: &postplace::ScenarioResult, index: usize, band: &str| {
         Json::obj([
             ("index", Json::Num(index as f64)),
@@ -626,7 +725,10 @@ fn main() -> ExitCode {
                     Json::Num(r.scenario.mesh.1 as f64),
                 ]),
             ),
-            ("strategy", Json::Str(r.scenario.strategy.to_string())),
+            // label() == strategy.to_string() for strategy scenarios
+            // (baseline keys unchanged); transform scenarios key by id.
+            ("strategy", Json::Str(r.scenario.label())),
+            ("transform", Json::Str(r.report.transform_id.clone())),
             ("area_overhead_pct", Json::Num(r.report.area_overhead_pct)),
             ("peak_before_c", Json::Num(r.report.before.peak_c)),
             ("peak_after_c", Json::Num(r.report.after.peak_c)),
@@ -666,6 +768,7 @@ fn main() -> ExitCode {
         ("max_peak_delta_c", Json::Num(max_delta_c)),
         ("delta", delta_section),
         ("solver_scaling", solver_scaling),
+        ("optimizer", optimizer_section),
         ("records", Json::Arr(records)),
     ]);
     if let Err(e) = std::fs::write(&args.out, doc.render()) {

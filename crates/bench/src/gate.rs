@@ -44,6 +44,13 @@ pub const MIN_DELTA_THROUGHPUT_RATIO: f64 = 10.0;
 /// gated conservatively.
 pub const MIN_STRUCTURED_SPEEDUP: f64 = 1.5;
 
+/// Maximum fraction of screened Pareto candidates the optimizer may
+/// exact-verify (schema ≥ 4): the frontier search must stay
+/// screening-dominated — paying full re-place + re-solve on more than a
+/// quarter of the candidate space means the surrogate front (or its
+/// resolution knob) regressed.
+pub const MAX_OPTIMIZER_EXACT_SHARE: f64 = 0.25;
+
 /// Worst allowed temperature disagreement between the structured path
 /// and the CSR oracle, kelvin. Both solve the same conductances to a
 /// 1e-9 relative residual, so anything past a microkelvin means one of
@@ -133,6 +140,44 @@ pub fn check_against_baseline(
 
     failures.extend(check_delta_section(current, baseline));
     failures.extend(check_solver_scaling_section(current, baseline));
+    failures.extend(check_optimizer_section(current, baseline));
+    failures
+}
+
+/// Validates the strategy-engine optimizer section (schema ≥ 4): exact
+/// verifications must stay at most [`MAX_OPTIMIZER_EXACT_SHARE`] of the
+/// screened candidates, and the frontier must not be empty. Within-run
+/// quantities — the baseline only establishes presence.
+fn check_optimizer_section(current: &Json, baseline: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(optimizer) = current.get("optimizer") else {
+        if baseline.get("optimizer").is_some() {
+            failures.push("`optimizer` section missing from this run".to_string());
+        }
+        return failures;
+    };
+    let screened = optimizer.require_f64("optimizer", "screened");
+    let exact = optimizer.require_f64("optimizer", "exact_runs");
+    match (screened, exact) {
+        (Ok(screened), Ok(exact)) => {
+            if screened <= 0.0 {
+                failures.push("optimizer screened no candidates".to_string());
+            } else if exact > screened * MAX_OPTIMIZER_EXACT_SHARE {
+                failures.push(format!(
+                    "optimizer exact-verified {exact:.0} of {screened:.0} screened \
+                     candidates ({:.0}%, cap {:.0}%)",
+                    exact / screened * 100.0,
+                    MAX_OPTIMIZER_EXACT_SHARE * 100.0
+                ));
+            }
+        }
+        (a, b) => failures.extend(a.err().into_iter().chain(b.err())),
+    }
+    match optimizer.get("frontier").and_then(Json::as_arr) {
+        Some([]) => failures.push("optimizer frontier is empty".to_string()),
+        Some(_) => {}
+        None => failures.push("section `optimizer` is missing key `frontier`".to_string()),
+    }
     failures
 }
 
@@ -385,6 +430,60 @@ mod tests {
             "{failures:?}"
         );
         // Pre-v3 documents (no section on either side) still pass.
+        assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
+    }
+
+    fn with_optimizer(mut doc: Json, screened: f64, exact: f64, points: usize) -> Json {
+        let Json::Obj(pairs) = &mut doc else {
+            unreachable!()
+        };
+        pairs.push((
+            "optimizer".to_string(),
+            Json::obj([
+                ("screened", Json::Num(screened)),
+                ("exact_runs", Json::Num(exact)),
+                (
+                    "frontier",
+                    Json::Arr(
+                        (0..points)
+                            .map(|i| Json::obj([("transform", Json::Str(format!("eri:{i}")))]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+        doc
+    }
+
+    #[test]
+    fn optimizer_gate_caps_exact_share_and_requires_a_frontier() {
+        let base = with_optimizer(doc(3.0, 81.5), 60.0, 12.0, 10);
+        // Healthy section passes (20 % exact).
+        let good = with_optimizer(doc(3.0, 81.5), 60.0, 12.0, 10);
+        assert!(check_against_baseline(&good, &base, 0.25, 0.2).is_empty());
+        // Exact share over the cap fails.
+        let greedy = with_optimizer(doc(3.0, 81.5), 60.0, 20.0, 10);
+        let failures = check_against_baseline(&greedy, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("exact-verified")),
+            "{failures:?}"
+        );
+        // An empty frontier fails.
+        let empty = with_optimizer(doc(3.0, 81.5), 60.0, 12.0, 0);
+        let failures = check_against_baseline(&empty, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("frontier is empty")),
+            "{failures:?}"
+        );
+        // Dropping the section entirely (when the baseline has it) fails.
+        let failures = check_against_baseline(&doc(3.0, 81.5), &base, 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("`optimizer` section missing")),
+            "{failures:?}"
+        );
+        // Pre-v4 documents (no section on either side) still pass.
         assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
     }
 

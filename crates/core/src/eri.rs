@@ -106,8 +106,22 @@ pub fn eri_insertion_positions(
             detail: "hotspots do not overlap any row".to_string(),
         });
     }
-    // Candidate gaps: below row p (p = 1..n_rows) plus below row 0 and
-    // above the top row; score = heat of adjacent rows.
+    hottest_gap_positions(&row_heat, rows, "no insertion candidates near the hotspots")
+}
+
+/// Turns a per-row heat profile into insertion positions: the candidate
+/// gaps (below row `p`, `p = 0..=n_rows`) are scored by the heat of
+/// their adjacent rows, ranked hottest first (ties by position, for
+/// determinism), and `rows` insertions are assigned round-robin over the
+/// ranking — the shared selection tail of [`eri_insertion_positions`]
+/// and [`targeted_insertion_positions`], which differ only in how they
+/// fill `row_heat`.
+fn hottest_gap_positions(
+    row_heat: &[f64],
+    rows: usize,
+    empty_detail: &str,
+) -> Result<Vec<usize>, FlowError> {
+    let n_rows = row_heat.len();
     let gap_score = |p: usize| -> f64 {
         let below = if p > 0 {
             row_heat[p - 1]
@@ -122,10 +136,10 @@ pub fn eri_insertion_positions(
         below.max(above)
     };
     let mut candidates: Vec<usize> = (0..=n_rows).filter(|&p| gap_score(p).is_finite()).collect();
-    candidates.sort_by(|&a, &b| gap_score(b).total_cmp(&gap_score(a)));
+    candidates.sort_by(|&a, &b| gap_score(b).total_cmp(&gap_score(a)).then(a.cmp(&b)));
     if candidates.is_empty() {
         return Err(FlowError::BadStrategy {
-            detail: "no insertion candidates near the hotspots".to_string(),
+            detail: empty_detail.to_string(),
         });
     }
     Ok((0..rows)
@@ -133,10 +147,70 @@ pub fn eri_insertion_positions(
         .collect())
 }
 
-/// The screening surrogate for an ERI candidate: the power redistribution
-/// the insertion would cause, modeled **on the baseline mesh** (fixed die
-/// outline) so it can be priced by a
-/// [`crate::CandidateEvaluator`] without re-placing anything.
+/// Chooses where `rows` empty rows would go from the *whole* thermal
+/// profile: every gap between rows is scored by the peak temperature of
+/// its adjacent rows (no hotspot detection involved), and rows land on
+/// the hottest **distinct** gaps first — only once every gap has one do
+/// further rows double up. This is the decision half of the
+/// temperature-profile-driven *targeted* row-insertion transform
+/// ([`crate::TargetedRowInsertionTransform`]); contrast with
+/// [`eri_insertion_positions`], which restricts scoring to detected
+/// hotspot bins and wraps around the hot band early.
+///
+/// # Errors
+///
+/// Returns [`FlowError::BadStrategy`] when `rows == 0` or the floorplan
+/// has no rows.
+pub fn targeted_insertion_positions(
+    floorplan: &Floorplan,
+    map: &ThermalMap,
+    rows: usize,
+) -> Result<Vec<usize>, FlowError> {
+    if rows == 0 {
+        return Err(FlowError::BadStrategy {
+            detail: "targeted row insertion needs rows > 0".to_string(),
+        });
+    }
+    let n_rows = floorplan.num_rows();
+    if n_rows == 0 {
+        return Err(FlowError::BadStrategy {
+            detail: "floorplan has no rows".to_string(),
+        });
+    }
+    // Per-row heat: the hottest mesh bin overlapping the row, over the
+    // full map — warm bands count even when no detector would fire.
+    // Rows and mesh bands are both y-intervals, so each mesh row only
+    // needs the placement rows its band can overlap (a constant-width
+    // window), not the full O(mesh × rows) cross product.
+    let grid = map.grid();
+    let mut row_heat = vec![f64::NEG_INFINITY; n_rows];
+    let h = floorplan.row_height();
+    let lly = floorplan.core().lly;
+    for iy in 0..grid.ny() {
+        if grid.nx() == 0 {
+            break;
+        }
+        // The band's peak over x, then its overlapping row window.
+        let mut band_max = f64::NEG_INFINITY;
+        for ix in 0..grid.nx() {
+            band_max = band_max.max(*grid.get(ix, iy));
+        }
+        let band = grid.bin_rect(0, iy);
+        let lo = (((band.lly - lly) / h).floor().max(0.0) as usize).min(n_rows);
+        let hi = ((((band.ury - lly) / h).ceil().max(0.0) as usize) + 1).min(n_rows);
+        for (r, heat) in row_heat.iter_mut().enumerate().take(hi).skip(lo) {
+            if floorplan.row_rect(r).intersects(&band) {
+                *heat = heat.max(band_max);
+            }
+        }
+    }
+    hottest_gap_positions(&row_heat, rows, "thermal map overlaps no row")
+}
+
+/// The surrogate *map* of a row-insertion stage: the power redistribution
+/// `positions` would cause, modeled **on the baseline mesh** (fixed die
+/// outline). The composable map→map half of [`eri_power_delta`], shared
+/// by the ERI and targeted-row transforms and usable mid-pipeline.
 ///
 /// The surrogate applies the real geometric transform — cells above each
 /// inserted row shift up by one pitch, opening a powerless gap — then
@@ -144,17 +218,17 @@ pub fn eri_insertion_positions(
 /// scales all power by the area-dilution factor `H/H′`, mimicking the
 /// grown outline at constant mesh. Power mass moves along `y` only,
 /// exactly as rigid row remapping does.
-pub fn eri_power_delta(
+pub fn eri_surrogate_map(
     power: &Grid2d<f64>,
     floorplan: &Floorplan,
     positions: &[usize],
-) -> PowerDelta {
+) -> Grid2d<f64> {
     let core = floorplan.core();
     let h = floorplan.row_height();
     let n_rows = floorplan.num_rows();
     let grown = core.height() + positions.len() as f64 * h;
     if grown <= 0.0 || power.ny() == 0 {
-        return PowerDelta::default();
+        return power.clone();
     }
     // insertions_below[r] = rows inserted below placement row r.
     let mut insertions_below = vec![0usize; n_rows + 1];
@@ -217,7 +291,21 @@ pub fn eri_power_delta(
             }
         }
     }
-    PowerDelta::between(power, &new_map, 1e-15)
+    new_map
+}
+
+/// The screening surrogate for an ERI candidate — the sparse delta
+/// between the baseline map and [`eri_surrogate_map`]'s redistribution.
+pub fn eri_power_delta(
+    power: &Grid2d<f64>,
+    floorplan: &Floorplan,
+    positions: &[usize],
+) -> PowerDelta {
+    PowerDelta::between(
+        power,
+        &eri_surrogate_map(power, floorplan, positions),
+        1e-15,
+    )
 }
 
 #[cfg(test)]
@@ -343,6 +431,36 @@ mod tests {
             empty_row_insertion(&nl, &base.floorplan, &base.placement, &map, &[hs], rows).unwrap();
         assert_eq!(fp2.num_rows(), base.floorplan.num_rows() + rows);
         assert!(validate(&nl, &fp2, &p2).is_empty());
+    }
+
+    #[test]
+    fn targeted_positions_prefer_distinct_hot_gaps() {
+        let (_, base) = setup();
+        let core = base.floorplan.core();
+        let hot = Rect::new(
+            core.llx,
+            core.lly + core.height() * 0.4,
+            core.urx,
+            core.lly + core.height() * 0.6,
+        );
+        let map = fake_map(core, hot);
+        let rows = 4;
+        let positions = targeted_insertion_positions(&base.floorplan, &map, rows).unwrap();
+        assert_eq!(positions.len(), rows);
+        // All four land in the hot band, and on *distinct* gaps (ERI
+        // would wrap around its hotspot-band candidates earlier).
+        let n = base.floorplan.num_rows() as f64;
+        let mut seen = std::collections::HashSet::new();
+        for &p in &positions {
+            let frac = p as f64 / n;
+            assert!((0.3..=0.7).contains(&frac), "insertion at {frac:.2}");
+            assert!(seen.insert(p), "gap {p} doubled up before all were used");
+        }
+        // Unlike ERI, no hotspot detection is needed: a nearly-flat map
+        // still yields positions instead of an error.
+        let flat = fake_map(core, Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert!(targeted_insertion_positions(&base.floorplan, &flat, 2).is_ok());
+        assert!(targeted_insertion_positions(&base.floorplan, &flat, 0).is_err());
     }
 
     #[test]

@@ -18,9 +18,16 @@
 //!   candidate once columns are warm), falling back to an exact re-solve
 //!   for perturbations too dense for superposition to win.
 //!
+//! Candidate deltas come from the strategy-transform engine:
+//! [`crate::PlacementTransform::power_delta`] diffs a transform's
+//! composable map→map surrogate against the memoized baseline, so any
+//! registered technique — composites included — can be priced here
+//! without touching a placement.
+//!
 //! Screening decisions may come from the delta path, but reported
 //! [`crate::FlowReport`] numbers never do: the optimization loops
-//! re-verify every winning candidate with a full [`crate::Flow::run`].
+//! re-verify every winning candidate with a full [`crate::Flow::run`]
+//! (or [`crate::Flow::run_transform`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -15,10 +15,9 @@ use thermalsim::{FactorizedThermalModel, ThermalConfig, ThermalMap, ThermalSimul
 use timan::{analyze, TimingConfig, TimingReport};
 
 use crate::{
-    detect_hotspots, empty_row_insertion, eri_insertion_positions, eri_power_delta,
-    hotspot_wrapper, uniform_power_delta, uniform_slack, wrapper_power_delta,
-    DeltaCandidateEvaluator, ExactCandidateEvaluator, FlowError, Hotspot, HotspotConfig,
-    PowerDelta, Strategy, WrapperConfig,
+    detect_hotspots, DeltaCandidateEvaluator, ExactCandidateEvaluator, FlowError, Hotspot,
+    HotspotConfig, PlacementTransform, PowerDelta, Strategy, TransformContext, TransformState,
+    WrapperConfig,
 };
 use thermalsim::DeltaThermalModel;
 
@@ -169,8 +168,14 @@ impl ThermalSummary {
 /// Everything one experiment run produces.
 #[derive(Debug, Clone)]
 pub struct FlowReport {
-    /// The strategy that was applied.
+    /// The legacy strategy facade of the transform that was applied —
+    /// [`Strategy::None`] when the transform has no enum equivalent
+    /// (composites and the post-enum techniques); [`FlowReport::transform_id`]
+    /// is always authoritative.
     pub strategy: Strategy,
+    /// Stable id of the applied transform (see
+    /// [`crate::PlacementTransform::id`]).
+    pub transform_id: String,
     /// Base core area, µm².
     pub base_area_um2: f64,
     /// Core area after the transformation, µm².
@@ -455,10 +460,10 @@ impl Flow {
         floorplan: &Floorplan,
         placement: &Placement,
     ) -> Result<(PowerReport, Grid2d<f64>, ThermalMap), FlowError> {
-        self.analyze_placement_with(floorplan, placement, true)
+        self.analyze_placement_mode(floorplan, placement, true)
     }
 
-    fn analyze_placement_with(
+    pub(crate) fn analyze_placement_mode(
         &self,
         floorplan: &Floorplan,
         placement: &Placement,
@@ -502,7 +507,7 @@ impl Flow {
     fn compute_baseline(&self, cached: bool) -> Result<BaselineAnalysis, FlowError> {
         let fp = &self.base.floorplan;
         let pl = &self.base.placement;
-        let (power, pmap, tmap) = self.analyze_placement_with(fp, pl, cached)?;
+        let (power, pmap, tmap) = self.analyze_placement_mode(fp, pl, cached)?;
         let hotspots = detect_hotspots(&tmap, &self.config.hotspot);
         let timing = analyze(&self.netlist, fp, pl, Some(&tmap), &self.config.timing);
         let hpwl_um = total_hpwl(&self.netlist, fp, pl);
@@ -556,6 +561,17 @@ impl Flow {
         Ok(&self.baseline()?.pmap)
     }
 
+    /// The memoized baseline power report — equal to [`Flow::power`]
+    /// until the leakage–temperature feedback loop is enabled, after
+    /// which it carries the converged leakage-adjusted cell powers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-solve failures.
+    pub fn baseline_power_report(&self) -> Result<&PowerReport, FlowError> {
+        Ok(&self.baseline()?.power)
+    }
+
     /// The memoized baseline hotspots (detected on the base placement).
     ///
     /// # Errors
@@ -600,49 +616,46 @@ impl Flow {
         Ok(DeltaCandidateEvaluator::new(delta))
     }
 
+    /// The memoized baseline thermal map and hotspots — the inputs every
+    /// transform surrogate models itself on.
+    pub(crate) fn baseline_thermal(&self) -> Result<(&ThermalMap, &[Hotspot]), FlowError> {
+        let b = self.baseline()?;
+        Ok((&b.tmap, &b.hotspots))
+    }
+
     /// The screening surrogate of a strategy: the sparse power
-    /// redistribution it would cause, modeled on the baseline mesh (see
-    /// the per-strategy generators [`eri_power_delta`],
-    /// [`uniform_power_delta`] and [`wrapper_power_delta`]). Surrogates
-    /// drive candidate *screening* only — [`FlowReport`] numbers always
-    /// come from an exact run.
+    /// redistribution it would cause, modeled on the baseline mesh.
+    /// Delegates to the strategy's ported transform (see
+    /// [`Strategy::to_transform`] and
+    /// [`crate::PlacementTransform::power_delta`]). Surrogates drive
+    /// candidate *screening* only — [`FlowReport`] numbers always come
+    /// from an exact run.
     ///
     /// # Errors
     ///
     /// Propagates baseline failures and strategy-parameter errors (e.g.
     /// ERI with no detected hotspots).
     pub fn strategy_power_delta(&self, strategy: Strategy) -> Result<PowerDelta, FlowError> {
-        let b = self.baseline()?;
-        match strategy {
-            Strategy::None => Ok(PowerDelta::default()),
-            Strategy::UniformSlack { area_overhead } => {
-                Ok(uniform_power_delta(&b.pmap, area_overhead))
-            }
-            Strategy::EmptyRowInsertion { rows } => {
-                let positions =
-                    eri_insertion_positions(&self.base.floorplan, &b.tmap, &b.hotspots, rows)?;
-                Ok(eri_power_delta(&b.pmap, &self.base.floorplan, &positions))
-            }
-            Strategy::HotspotWrapper { area_overhead } => {
-                let hotspot_cfg = self.wrapper_hotspot_config();
-                let blobs = detect_hotspots(&b.tmap, &hotspot_cfg);
-                let spots = crate::split_hotspots_by_regions(
-                    &b.tmap,
-                    &blobs,
-                    &self.base.regions,
-                    hotspot_cfg.min_bins,
-                );
-                let regions =
-                    crate::wrap_regions(&spots, &self.base.floorplan, &self.config.wrapper);
-                Ok(wrapper_power_delta(&b.pmap, &regions, area_overhead))
-            }
-        }
+        strategy.to_transform().power_delta(self)
+    }
+
+    /// The screening surrogate of an arbitrary transform — the open-set
+    /// sibling of [`Flow::strategy_power_delta`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline failures and transform-parameter errors.
+    pub fn transform_power_delta(
+        &self,
+        transform: &dyn PlacementTransform,
+    ) -> Result<PowerDelta, FlowError> {
+        transform.power_delta(self)
     }
 
     /// The wrapper's hotspot-core detection thresholds, made
     /// resolution-aware: bin-count floors scale with the mesh so fine
     /// meshes do not let sliver hotspots through (the ≥ 28×28 failure).
-    fn wrapper_hotspot_config(&self) -> HotspotConfig {
+    pub(crate) fn wrapper_hotspot_config(&self) -> HotspotConfig {
         HotspotConfig {
             threshold_fraction: self.config.wrapper.threshold_fraction,
             ..self.config.hotspot
@@ -652,15 +665,33 @@ impl Flow {
 
     /// Runs one strategy and reports before/after metrics.
     ///
-    /// The baseline analysis is memoized and every thermal solve reuses
-    /// the factorized model of its die geometry, so repeated runs (row
+    /// The strategy is dispatched through its ported
+    /// [`PlacementTransform`] (see [`Strategy::to_transform`]); the
+    /// baseline analysis is memoized and every thermal solve reuses the
+    /// factorized model of its die geometry, so repeated runs (row
     /// bisection, budget search, sweeps) only pay for what changed.
     ///
     /// # Errors
     ///
     /// Propagates placement, thermal and strategy-parameter errors.
     pub fn run(&self, strategy: Strategy) -> Result<FlowReport, FlowError> {
-        self.run_with(strategy, true)
+        self.run_transform_with(&*strategy.to_transform(), true)
+    }
+
+    /// Runs an arbitrary transform (composites and post-enum techniques
+    /// included) and reports before/after metrics — the open-set sibling
+    /// of [`Flow::run`]. Deterministic: re-running the same transform
+    /// reproduces the report bit-exactly, which is what lets the Pareto
+    /// optimizer promise that every frontier point matches a direct run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement, thermal and transform-parameter errors.
+    pub fn run_transform(
+        &self,
+        transform: &dyn PlacementTransform,
+    ) -> Result<FlowReport, FlowError> {
+        self.run_transform_with(transform, true)
     }
 
     /// Evaluates exactly like [`Flow::run`] but bypasses the factorized
@@ -674,10 +705,29 @@ impl Flow {
     ///
     /// Propagates placement, thermal and strategy-parameter errors.
     pub fn run_reference(&self, strategy: Strategy) -> Result<FlowReport, FlowError> {
-        self.run_with(strategy, false)
+        self.run_transform_with(&*strategy.to_transform(), false)
     }
 
-    fn run_with(&self, strategy: Strategy, cached: bool) -> Result<FlowReport, FlowError> {
+    /// The open-set sibling of [`Flow::run_reference`]: evaluates an
+    /// arbitrary transform on the assemble-per-solve path, so the bench
+    /// yardstick can replay transform-axis scenarios the same way it
+    /// replays strategy scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement, thermal and transform-parameter errors.
+    pub fn run_transform_reference(
+        &self,
+        transform: &dyn PlacementTransform,
+    ) -> Result<FlowReport, FlowError> {
+        self.run_transform_with(transform, false)
+    }
+
+    fn run_transform_with(
+        &self,
+        transform: &dyn PlacementTransform,
+        cached: bool,
+    ) -> Result<FlowReport, FlowError> {
         let base_fp = &self.base.floorplan;
         let base_pl = &self.base.placement;
         let reference_baseline;
@@ -693,68 +743,21 @@ impl Flow {
         let timing_before = baseline.timing.clone();
         let hpwl_before = baseline.hpwl_um;
 
-        // Apply the strategy.
-        let (new_fp, new_pl) = match strategy {
-            Strategy::None => (base_fp.clone(), base_pl.clone()),
-            Strategy::UniformSlack { area_overhead } => {
-                let result = uniform_slack(
-                    &self.netlist,
-                    &PlacerConfig::with_utilization(self.config.base_utilization),
-                    area_overhead,
-                )?;
-                (result.floorplan, result.placement)
-            }
-            Strategy::EmptyRowInsertion { rows } => {
-                let (fp, pl, _) = empty_row_insertion(
-                    &self.netlist,
-                    base_fp,
-                    base_pl,
-                    tmap_before,
-                    &hotspots,
-                    rows,
-                )?;
-                (fp, pl)
-            }
-            Strategy::HotspotWrapper { area_overhead } => {
-                // Per the paper: start from the Default solution at the
-                // desired overhead, then wrap the hotspots it exhibits.
-                let relaxed = uniform_slack(
-                    &self.netlist,
-                    &PlacerConfig::with_utilization(self.config.base_utilization),
-                    area_overhead,
-                )?;
-                let (_, _, tmap_relaxed) =
-                    self.analyze_placement_with(&relaxed.floorplan, &relaxed.placement, cached)?;
-                // Resolution-aware thresholds: a fixed min_bins lets
-                // sliver hotspots through on fine meshes, producing wrap
-                // regions too thin to absorb their hot cells.
-                let hotspot_cfg = self.wrapper_hotspot_config();
-                let blobs = detect_hotspots(&tmap_relaxed, &hotspot_cfg);
-                // Wrap per hotspot source: split merged thermal blobs along
-                // the unit-region boundaries (paper Fig. 4 wraps each
-                // hotspot separately), then clip the wrappers to stay
-                // disjoint.
-                let spots = crate::split_hotspots_by_regions(
-                    &tmap_relaxed,
-                    &blobs,
-                    &relaxed.regions,
-                    hotspot_cfg.min_bins,
-                );
-                let regions = crate::wrap_regions(&spots, &relaxed.floorplan, &self.config.wrapper);
-                let mut placement = relaxed.placement;
-                hotspot_wrapper(
-                    &self.netlist,
-                    &relaxed.floorplan,
-                    &mut placement,
-                    &regions,
-                    power_before,
-                    &self.config.wrapper,
-                )?;
-                (relaxed.floorplan, placement)
-            }
-        };
+        // Apply the transform (pipeline stages included) on top of the
+        // base state; the baseline's thermal analysis is handed over so
+        // no stage re-solves what is already known.
+        let ctx = TransformContext::with_mode(self, cached, power_before.clone());
+        let mut base_state = TransformState::with_thermal(
+            base_fp.clone(),
+            base_pl.clone(),
+            self.base.regions.clone(),
+            tmap_before.clone(),
+            hotspots.clone(),
+        );
+        let next = transform.apply(&ctx, &mut base_state)?;
+        let (new_fp, new_pl) = (next.floorplan, next.placement);
 
-        let (_, _, tmap_after) = self.analyze_placement_with(&new_fp, &new_pl, cached)?;
+        let (_, _, tmap_after) = self.analyze_placement_mode(&new_fp, &new_pl, cached)?;
         let timing_after = analyze(
             &self.netlist,
             &new_fp,
@@ -766,7 +769,8 @@ impl Flow {
         let base_area = base_fp.core().area();
         let new_area = new_fp.core().area();
         Ok(FlowReport {
-            strategy,
+            strategy: transform.as_strategy().unwrap_or(Strategy::None),
+            transform_id: transform.id(),
             base_area_um2: base_area,
             new_area_um2: new_area,
             area_overhead_pct: (new_area / base_area - 1.0) * 100.0,

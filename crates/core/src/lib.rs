@@ -22,6 +22,15 @@
 //! single [`Flow::run`] call producing a [`FlowReport`] with before/after
 //! peak temperature, area overhead and timing overhead.
 //!
+//! The three techniques are ports of an **open transform engine** (see
+//! [`PlacementTransform`]): arbitrary techniques — composite pipelines
+//! ([`CompositeTransform`]), targeted row insertion, hot-bin filler
+//! spreading, or your own — plug into the same flow via
+//! [`Flow::run_transform`], screen through the same delta surrogates,
+//! and compete on the area-vs-temperature frontier
+//! ([`pareto_frontier`]). The [`Strategy`] enum remains as a thin
+//! compatibility facade over the ported transforms.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -46,10 +55,14 @@ mod hotspot;
 mod optimize;
 mod strategy;
 mod sweep;
+mod transform;
 mod uniform;
 mod wrapper;
 
-pub use eri::{empty_row_insertion, eri_insertion_positions, eri_power_delta, EriReport};
+pub use eri::{
+    empty_row_insertion, eri_insertion_positions, eri_power_delta, eri_surrogate_map,
+    targeted_insertion_positions, EriReport,
+};
 pub use error::FlowError;
 pub use evaluate::{
     CandidateEval, CandidateEvaluator, DeltaCandidateEvaluator, ExactCandidateEvaluator, PowerDelta,
@@ -59,10 +72,20 @@ pub use hotspot::{
     classify_hotspots, detect_hotspots, split_hotspots_by_regions, Hotspot, HotspotClass,
     HotspotConfig,
 };
-pub use optimize::{best_strategy_within_budget, minimize_rows_for_target, RowOptimum};
+pub use optimize::{
+    best_strategy_within_budget, best_strategy_within_budget_with, minimize_rows_for_target,
+    pareto_frontier, BudgetOptimum, OptimizeConfig, ParetoFrontier, ParetoPoint, RowOptimum,
+};
 pub use strategy::Strategy;
 pub use sweep::{default_threads, run_sweep, Scenario, ScenarioResult, SweepGrid, SweepReport};
-pub use uniform::{uniform_power_delta, uniform_slack};
+pub use transform::{
+    rows_for_budget, CompositeTransform, EmptyRowInsertionTransform, HotBinSpreadTransform,
+    HotspotWrapperTransform, NoneTransform, PlacementTransform, SpreadFillersTransform,
+    TargetedRowInsertionTransform, TransformContext, TransformFactory, TransformRegistry,
+    TransformState, UniformSlackTransform, WrapHotspotsTransform,
+};
+pub use uniform::{uniform_power_delta, uniform_slack, uniform_surrogate_map};
 pub use wrapper::{
-    hotspot_wrapper, wrap_regions, wrapper_power_delta, WrapperConfig, WrapperReport,
+    hotspot_wrapper, wrap_regions, wrap_surrogate_map, wrapper_power_delta, WrapperConfig,
+    WrapperReport,
 };

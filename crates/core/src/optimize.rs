@@ -17,7 +17,46 @@
 //! the approximation path, and the exactness guarantees (minimality of
 //! the row count, target actually met) are enforced by real runs.
 
-use crate::{CandidateEvaluator, Flow, FlowError, FlowReport, Strategy};
+use crate::{
+    CandidateEvaluator, Flow, FlowError, FlowReport, PlacementTransform, Strategy,
+    TransformRegistry,
+};
+
+/// Tunable knobs of the screen-then-verify optimization loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeConfig {
+    /// How far (in percentage points of reduction) the screening
+    /// surrogate is trusted when ranking candidates: an
+    /// exactly-evaluated leader must beat the next candidate's
+    /// *estimate* by this margin before the loop stops spending exact
+    /// evaluations on the rest. Raise it for workloads where the
+    /// surrogate is known to be optimistic; lower it to spend fewer
+    /// exact runs.
+    pub screen_margin_pct: f64,
+    /// Slack (in percentage points of area) tolerated between a
+    /// candidate's realized overhead and the budget — row quantization
+    /// and placer realization keep overheads from landing exactly on
+    /// the target.
+    pub budget_slack_pct: f64,
+    /// Frontier resolution (percentage points of reduction): a
+    /// surrogate-front candidate is exact-verified only when its
+    /// estimate adds at least this much over the previously verified
+    /// point. Near-duplicate candidates (different techniques realizing
+    /// the same trade-off within noise) then share one exact run, which
+    /// is what keeps exact verifications a small fraction of the
+    /// screened set. `0.0` verifies the entire surrogate front.
+    pub frontier_gain_pct: f64,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            screen_margin_pct: 1.5,
+            budget_slack_pct: 0.5,
+            frontier_gain_pct: 0.25,
+        }
+    }
+}
 
 /// Result of a row-count optimization.
 #[derive(Debug, Clone)]
@@ -154,27 +193,58 @@ pub fn minimize_rows_for_target(
     })
 }
 
-/// How far (in percentage points of reduction) the screening surrogate is
-/// trusted when ranking strategies: an exactly-evaluated leader must beat
-/// the next candidate's *estimate* by this margin before the loop stops
-/// spending exact evaluations on the rest.
-const SCREEN_MARGIN_PCT: f64 = 1.5;
+/// The outcome of a budget search, with its evaluation accounting.
+#[derive(Debug, Clone)]
+pub struct BudgetOptimum {
+    /// The winning report (always from an exact run).
+    pub report: FlowReport,
+    /// Cheap surrogate screenings spent.
+    pub screened: usize,
+    /// Exact `Flow::run` evaluations spent.
+    pub evaluations: usize,
+    /// Candidates discarded *before any evaluation* because their
+    /// row-quantized planned overhead already exceeded the budget.
+    pub skipped_over_budget: usize,
+}
 
 /// Evaluates the three techniques at an area budget and returns the
 /// report with the largest peak-temperature reduction.
 ///
-/// Candidates are ranked by the delta-screening surrogate first; exact
-/// [`Flow::run`] evaluations are then spent best-estimate-first and stop
-/// as soon as the confirmed leader outruns every remaining estimate by
-/// a small trust margin — typically one or two exact runs instead of
-/// three. The returned report always comes from an exact run.
+/// Convenience wrapper over [`best_strategy_within_budget_with`] at the
+/// default [`OptimizeConfig`].
 ///
 /// # Errors
 ///
 /// Propagates the first evaluation error.
 pub fn best_strategy_within_budget(flow: &Flow, area_budget: f64) -> Result<FlowReport, FlowError> {
-    let rows0 = flow.base_placement().floorplan.num_rows();
-    let rows = ((area_budget * rows0 as f64).floor() as usize).max(1);
+    best_strategy_within_budget_with(flow, area_budget, &OptimizeConfig::default())
+        .map(|opt| opt.report)
+}
+
+/// Evaluates the three techniques at an area budget and returns the
+/// report with the largest peak-temperature reduction, plus the search's
+/// evaluation accounting.
+///
+/// Candidates whose row-quantized planned overhead is knowably over
+/// budget are dropped before *any* evaluation — surrogate or exact (a
+/// one-row ERI on a sub-row budget used to cost a full re-place +
+/// re-solve before being discarded). The survivors are ranked by the
+/// delta-screening surrogate; exact [`Flow::run`] evaluations are then
+/// spent best-estimate-first and stop as soon as the confirmed leader
+/// outruns every remaining estimate by the configured trust margin —
+/// typically one or two exact runs instead of three. The returned report
+/// always comes from an exact run.
+///
+/// # Errors
+///
+/// Propagates the first evaluation error, and returns
+/// [`FlowError::BadStrategy`] when no candidate fits the budget.
+pub fn best_strategy_within_budget_with(
+    flow: &Flow,
+    area_budget: f64,
+    config: &OptimizeConfig,
+) -> Result<BudgetOptimum, FlowError> {
+    let rows = crate::rows_for_budget(flow, area_budget);
     let candidates = [
         Strategy::UniformSlack {
             area_overhead: area_budget,
@@ -184,33 +254,271 @@ pub fn best_strategy_within_budget(flow: &Flow, area_budget: f64) -> Result<Flow
             area_overhead: area_budget,
         },
     ];
-    // Screen: price every candidate as a power delta on the baseline.
+    // Screen: drop knowably-over-budget candidates first (planned
+    // overheads are exact for row-quantized techniques), then price the
+    // survivors as power deltas on the baseline.
     let evaluator = flow.delta_evaluator()?;
-    let mut ranked: Vec<(Strategy, f64)> = Vec::with_capacity(candidates.len());
+    let budget_cap_pct = area_budget * 100.0 + config.budget_slack_pct;
+    let mut skipped_over_budget = 0usize;
+    let mut screened = 0usize;
+    let mut ranked: Vec<(Box<dyn PlacementTransform>, f64)> = Vec::with_capacity(candidates.len());
     for strategy in candidates {
-        let delta = flow.strategy_power_delta(strategy)?;
-        ranked.push((strategy, evaluator.evaluate(&delta)?.reduction_pct));
+        let transform = strategy.to_transform();
+        if transform.planned_overhead(flow)? * 100.0 > budget_cap_pct {
+            skipped_over_budget += 1;
+            continue;
+        }
+        // A candidate the workload cannot realize (e.g. ERI with no
+        // detected hotspots) drops out of the ranking; the others still
+        // compete — matching the tolerance of the exact-run stage below
+        // and of `pareto_frontier`.
+        let delta = match transform.power_delta(flow) {
+            Ok(d) => d,
+            Err(FlowError::BadStrategy { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        screened += 1;
+        let estimate = evaluator.evaluate(&delta)?.reduction_pct;
+        ranked.push((transform, estimate));
     }
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     // Verify: exact runs, best estimate first, early-out on a clear win.
+    let mut evaluations = 0usize;
     let mut best: Option<FlowReport> = None;
-    for &(strategy, estimate) in &ranked {
+    for (transform, estimate) in &ranked {
         if let Some(b) = &best {
-            if b.reduction_pct() >= estimate + SCREEN_MARGIN_PCT {
+            if b.reduction_pct() >= estimate + config.screen_margin_pct {
                 break;
             }
         }
-        let report = flow.run(strategy)?;
-        if report.area_overhead_pct > area_budget * 100.0 + 0.5 {
-            continue; // over budget (row quantization)
+        evaluations += 1;
+        let report = match flow.run_transform(transform.as_ref()) {
+            Ok(r) => r,
+            // Inapplicable at this budget (e.g. a wrapper with too
+            // little slack to absorb its hot cells): not a winner, not
+            // fatal to the search.
+            Err(FlowError::BadStrategy { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        if report.area_overhead_pct > budget_cap_pct {
+            continue; // over budget (placer realization drift)
         }
         best = match best {
             Some(b) if b.reduction_pct() >= report.reduction_pct() => Some(b),
             _ => Some(report),
         };
     }
-    best.ok_or_else(|| FlowError::BadStrategy {
+    let report = best.ok_or_else(|| FlowError::BadStrategy {
         detail: "no strategy fits the area budget".to_string(),
+    })?;
+    Ok(BudgetOptimum {
+        report,
+        screened,
+        evaluations,
+        skipped_over_budget,
+    })
+}
+
+/// One exact-verified point of an area-vs-temperature frontier.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// Stable id of the transform (parse it back with
+    /// [`TransformRegistry::parse`]).
+    pub transform_id: String,
+    /// The registry family the candidate came from (`"eri"`,
+    /// `"targeted-eri+spread"`, …).
+    pub kind: String,
+    /// The budget the transform was instantiated at.
+    pub budget: f64,
+    /// The surrogate's reduction estimate at screening time, percent.
+    pub estimated_reduction_pct: f64,
+    /// The exact report ([`Flow::run_transform`] — bit-reproducible).
+    pub report: FlowReport,
+}
+
+/// The outcome of [`pareto_frontier`]: the paper's headline comparison
+/// — which technique wins at which area overhead — automated over the
+/// whole transform registry.
+#[derive(Debug, Clone)]
+pub struct ParetoFrontier {
+    /// Non-dominated points, sorted by realized area overhead; the
+    /// reduction is strictly increasing along the frontier.
+    pub points: Vec<ParetoPoint>,
+    /// Distinct candidates instantiated from the registry × budget grid.
+    pub candidates: usize,
+    /// Candidates priced through the screening surrogate.
+    pub screened: usize,
+    /// Exact `Flow::run_transform` verifications spent.
+    pub exact_runs: usize,
+    /// Candidates skipped (over budget, or inapplicable to this
+    /// workload — e.g. ERI with no detected hotspots).
+    pub skipped: usize,
+}
+
+impl ParetoFrontier {
+    /// Exact verifications as a fraction of screened candidates — the
+    /// bench gate holds this at ≤ 25 %.
+    pub fn exact_share(&self) -> f64 {
+        if self.screened == 0 {
+            0.0
+        } else {
+            self.exact_runs as f64 / self.screened as f64
+        }
+    }
+}
+
+/// Sweeps the full transform registry across a budget grid and returns
+/// the area-overhead-vs-peak-reduction Pareto frontier.
+///
+/// Every `registry × budgets` candidate is priced through the
+/// [`crate::DeltaCandidateEvaluator`] surrogate (microseconds each once
+/// the influence columns are warm); only the candidates on the
+/// *surrogate* Pareto front are verified with exact
+/// [`Flow::run_transform`] evaluations, and the returned frontier is
+/// re-filtered on the exact numbers — so it is monotone (strictly
+/// increasing reduction over increasing overhead), non-dominated, and
+/// every point's report bit-matches a direct run of its transform.
+///
+/// Candidates that do not apply to the workload (e.g. row insertion
+/// when no hotspot is detected) or whose *exact* evaluation fails on a
+/// degenerate geometry are skipped, not fatal: the frontier reports
+/// what the registry could realize.
+///
+/// # Errors
+///
+/// Propagates baseline/thermal failures.
+pub fn pareto_frontier(
+    flow: &Flow,
+    budgets: &[f64],
+    registry: &TransformRegistry,
+    config: &OptimizeConfig,
+) -> Result<ParetoFrontier, FlowError> {
+    struct Candidate {
+        transform: Box<dyn PlacementTransform>,
+        kind: String,
+        budget: f64,
+        overhead_pct: f64,
+        estimate: f64,
+    }
+    let evaluator = flow.delta_evaluator()?;
+    let mut skipped = 0usize;
+    let mut screened = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for &budget in budgets {
+        for factory in registry.factories() {
+            let transform = match factory.at_budget(flow, budget) {
+                Ok(t) => t,
+                Err(FlowError::BadStrategy { .. }) => {
+                    skipped += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            // Row quantization makes neighbouring budgets collapse onto
+            // the same transform; screen each distinct id once. The
+            // budget check comes first: a candidate over *this* budget
+            // (the one-row minimum) may still fit a later, larger one,
+            // so only in-budget candidates enter the dedup set.
+            if seen.contains(&transform.id()) {
+                continue;
+            }
+            let overhead_pct = transform.planned_overhead(flow)? * 100.0;
+            if overhead_pct > budget * 100.0 + config.budget_slack_pct {
+                skipped += 1; // knowably over budget (one-row minimum)
+                continue;
+            }
+            seen.insert(transform.id());
+            let delta = match transform.power_delta(flow) {
+                Ok(d) => d,
+                Err(FlowError::BadStrategy { .. }) => {
+                    skipped += 1; // inapplicable here (e.g. no hotspots)
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            screened += 1;
+            let estimate = evaluator.evaluate(&delta)?.reduction_pct;
+            candidates.push(Candidate {
+                transform,
+                kind: factory.kind().to_string(),
+                budget,
+                overhead_pct,
+                estimate,
+            });
+        }
+    }
+    let candidate_count = candidates.len();
+
+    // Surrogate Pareto front: sort by (overhead asc, estimate desc) and
+    // keep every candidate whose estimate strictly beats everything
+    // cheaper by at least the frontier resolution — these are the only
+    // candidates worth an exact run. Near-ties (several techniques
+    // realizing the same trade-off within `frontier_gain_pct`) share
+    // the one verification the first of them pays.
+    candidates.sort_by(|a, b| {
+        a.overhead_pct
+            .total_cmp(&b.overhead_pct)
+            .then(b.estimate.total_cmp(&a.estimate))
+    });
+    let mut exact_runs = 0usize;
+    let mut verified: Vec<ParetoPoint> = Vec::new();
+    let mut best_estimate = f64::NEG_INFINITY;
+    for candidate in candidates {
+        if candidate.estimate <= best_estimate + config.frontier_gain_pct {
+            continue; // dominated on the surrogate (within resolution)
+        }
+        exact_runs += 1;
+        let report = match flow.run_transform(candidate.transform.as_ref()) {
+            Ok(r) => r,
+            Err(FlowError::BadStrategy { .. }) => {
+                // Degenerate at exact-apply time: do NOT raise the
+                // estimate floor, so a near-tie alternative right after
+                // this candidate still gets its verification instead of
+                // being shadowed by a point that produced no report.
+                skipped += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        best_estimate = candidate.estimate;
+        verified.push(ParetoPoint {
+            transform_id: candidate.transform.id(),
+            kind: candidate.kind,
+            budget: candidate.budget,
+            estimated_reduction_pct: candidate.estimate,
+            report,
+        });
+    }
+
+    // Exact non-dominated filter: the surrogate ordering may not
+    // survive exact evaluation, so re-run the dominance test on the
+    // realized (overhead, reduction) pairs.
+    verified.sort_by(|a, b| {
+        a.report
+            .area_overhead_pct
+            .total_cmp(&b.report.area_overhead_pct)
+            .then(
+                b.report
+                    .reduction_pct()
+                    .total_cmp(&a.report.reduction_pct()),
+            )
+    });
+    let mut points: Vec<ParetoPoint> = Vec::new();
+    for point in verified {
+        let dominated = points
+            .last()
+            .is_some_and(|prev| prev.report.reduction_pct() >= point.report.reduction_pct());
+        if !dominated {
+            points.push(point);
+        }
+    }
+    Ok(ParetoFrontier {
+        points,
+        candidates: candidate_count,
+        screened,
+        exact_runs,
+        skipped,
     })
 }
 
@@ -293,5 +601,51 @@ mod tests {
         let best = best_strategy_within_budget(&flow, 0.16).unwrap();
         assert!(best.reduction_pct() > 0.0);
         assert!(best.area_overhead_pct <= 16.5);
+    }
+
+    #[test]
+    fn knowably_over_budget_candidates_skip_every_evaluation() {
+        // Regression: a budget below one row pitch quantizes ERI to a
+        // single row whose realized overhead is knowably over budget.
+        // The old loop paid a full exact `Flow::run` on it before the
+        // in-loop overhead check discarded it; screening must now drop
+        // it before any evaluation — surrogate or exact.
+        let flow = Flow::new(FlowConfig::scattered_small().fast()).unwrap();
+        let rows0 = flow.base_placement().floorplan.num_rows();
+        let budget = 0.5 / rows0 as f64; // half a row pitch
+        let opt =
+            best_strategy_within_budget_with(&flow, budget, &OptimizeConfig::default()).unwrap();
+        assert_eq!(opt.skipped_over_budget, 1, "the one-row ERI candidate");
+        assert_eq!(opt.screened, 2, "only uniform and hw get surrogates");
+        assert!(
+            opt.evaluations <= 2,
+            "no exact run on the over-budget candidate ({} spent)",
+            opt.evaluations
+        );
+        assert!(opt.report.area_overhead_pct <= budget * 100.0 + 0.5);
+    }
+
+    #[test]
+    fn screen_margin_is_tunable_per_workload() {
+        // A huge trust margin distrusts the surrogate and verifies every
+        // in-budget candidate; a zero margin trusts the ranking and
+        // stops as soon as the confirmed leader matches the next
+        // estimate.
+        let flow = Flow::new(FlowConfig::scattered_small().fast()).unwrap();
+        let skeptical = OptimizeConfig {
+            screen_margin_pct: 1e6,
+            ..OptimizeConfig::default()
+        };
+        let all = best_strategy_within_budget_with(&flow, 0.16, &skeptical).unwrap();
+        assert_eq!(all.evaluations, all.screened, "margin forces every run");
+        let trusting = OptimizeConfig {
+            screen_margin_pct: 0.0,
+            ..OptimizeConfig::default()
+        };
+        let opt = best_strategy_within_budget_with(&flow, 0.16, &trusting).unwrap();
+        assert!(opt.evaluations <= all.evaluations);
+        // Both pick exact-verified winners; the trusting loop's winner
+        // cannot beat the skeptical loop's (which saw everything).
+        assert!(all.report.reduction_pct() >= opt.report.reduction_pct() - 1e-9);
     }
 }

@@ -1,7 +1,18 @@
 use serde::{Deserialize, Serialize};
 
+use crate::{
+    EmptyRowInsertionTransform, HotspotWrapperTransform, NoneTransform, PlacementTransform,
+    UniformSlackTransform,
+};
+
 /// How to spend the user-specified area overhead (the paper's three
 /// compared schemes).
+///
+/// Since the strategy engine opened up (see [`PlacementTransform`]),
+/// this enum is a thin compatibility/serialization facade over the
+/// ported transforms: [`Strategy::to_transform`] maps each variant onto
+/// its open-set implementation, and everything [`crate::Flow`] does with
+/// a `Strategy` goes through that mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Strategy {
     /// Keep the base placement untouched (for before/after baselines).
@@ -26,6 +37,30 @@ pub enum Strategy {
         /// utilization relaxation before wrapping.
         area_overhead: f64,
     },
+}
+
+impl Strategy {
+    /// The open-set transform this variant is the facade of. The
+    /// round-trip holds: `strategy.to_transform().as_strategy() ==
+    /// Some(strategy)`.
+    pub fn to_transform(self) -> Box<dyn PlacementTransform> {
+        match self {
+            Strategy::None => Box::new(NoneTransform),
+            Strategy::UniformSlack { area_overhead } => {
+                Box::new(UniformSlackTransform { area_overhead })
+            }
+            Strategy::EmptyRowInsertion { rows } => Box::new(EmptyRowInsertionTransform { rows }),
+            Strategy::HotspotWrapper { area_overhead } => {
+                Box::new(HotspotWrapperTransform { area_overhead })
+            }
+        }
+    }
+
+    /// The stable transform id this variant serializes to (see
+    /// [`PlacementTransform::id`]).
+    pub fn transform_id(self) -> String {
+        self.to_transform().id()
+    }
 }
 
 impl std::fmt::Display for Strategy {

@@ -38,7 +38,7 @@ use thermalsim::GridSpec;
 use crate::{Flow, FlowConfig, FlowError, FlowReport, Strategy, WorkloadSpec};
 
 /// One cell of the sweep grid: which workload, mesh resolution and
-/// strategy to evaluate.
+/// transformation to evaluate.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Position in the expanded grid (stable across thread counts).
@@ -47,8 +47,26 @@ pub struct Scenario {
     pub workload: String,
     /// Lateral mesh resolution `(nx, ny)`.
     pub mesh: (usize, usize),
-    /// The transformation under evaluation.
+    /// The transformation under evaluation (the legacy facade;
+    /// [`Strategy::None`] for open-set transform scenarios, whose
+    /// [`Scenario::transform`] id is authoritative).
     pub strategy: Strategy,
+    /// Stable transform id for scenarios from the grid's transform axis
+    /// (parsed with [`crate::TransformRegistry::parse`] at evaluation
+    /// time); `None` for strategy-axis scenarios.
+    pub transform: Option<String>,
+}
+
+impl Scenario {
+    /// The scenario's display label: the transform id when the scenario
+    /// comes from the transform axis, the strategy's compact form
+    /// otherwise.
+    pub fn label(&self) -> String {
+        match &self.transform {
+            Some(id) => id.clone(),
+            None => self.strategy.to_string(),
+        }
+    }
 }
 
 /// The axes of a scenario sweep. Scenarios are the cartesian product
@@ -68,6 +86,10 @@ pub struct SweepGrid {
     /// Strategies (including row-count variants) to evaluate per
     /// workload × mesh combination.
     pub strategies: Vec<Strategy>,
+    /// Open-set transforms, by stable id (see
+    /// [`crate::PlacementTransform::id`]), appended after the strategy
+    /// axis in every workload × mesh combination.
+    pub transforms: Vec<String>,
 }
 
 impl SweepGrid {
@@ -79,6 +101,7 @@ impl SweepGrid {
             workloads: Vec::new(),
             meshes: Vec::new(),
             strategies: Vec::new(),
+            transforms: Vec::new(),
         }
     }
 
@@ -117,6 +140,21 @@ impl SweepGrid {
         self
     }
 
+    /// Adds an open-set transform to the grid by its stable id (e.g.
+    /// `"composite(eri:8+wrap)"`); the id is validated here and parsed
+    /// again per evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparsable id — grids are built statically and a
+    /// typo should fail at construction, not mid-sweep.
+    pub fn transform(mut self, id: impl Into<String>) -> Self {
+        let id = id.into();
+        crate::TransformRegistry::parse(&id).expect("invalid transform id in sweep grid");
+        self.transforms.push(id);
+        self
+    }
+
     fn effective_workloads(&self) -> Vec<(String, WorkloadSpec)> {
         if self.workloads.is_empty() {
             vec![("base".to_string(), self.base.workload.clone())]
@@ -150,7 +188,9 @@ impl SweepGrid {
 
     /// Number of scenarios the grid expands to.
     pub fn scenario_count(&self) -> usize {
-        self.effective_workloads().len() * self.effective_meshes().len() * self.strategies.len()
+        self.effective_workloads().len()
+            * self.effective_meshes().len()
+            * (self.strategies.len() + self.transforms.len())
     }
 
     /// Expands the axes into the full scenario list.
@@ -164,6 +204,16 @@ impl SweepGrid {
                         workload: label.clone(),
                         mesh,
                         strategy,
+                        transform: None,
+                    });
+                }
+                for id in &self.transforms {
+                    out.push(Scenario {
+                        index: out.len(),
+                        workload: label.clone(),
+                        mesh,
+                        strategy: Strategy::None,
+                        transform: Some(id.clone()),
                     });
                 }
             }
@@ -329,7 +379,12 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
                 let scenario = &scenarios[i];
                 let flow = &flows[group_of[i]];
                 let eval_started = Instant::now();
-                match flow.run(scenario.strategy) {
+                let outcome = match &scenario.transform {
+                    Some(id) => crate::TransformRegistry::parse(id)
+                        .and_then(|t| flow.run_transform(t.as_ref())),
+                    None => flow.run(scenario.strategy),
+                };
+                match outcome {
                     Ok(report) => {
                         let result = ScenarioResult {
                             scenario: scenario.clone(),
@@ -444,6 +499,33 @@ mod tests {
             .workload("checkerboard", checker)
             .row_counts([4]);
         assert_eq!(grid.scenario_count(), 2);
+    }
+
+    #[test]
+    fn transform_axis_scenarios_match_direct_transform_runs() {
+        let id = "composite(targeted-eri:4+spread)";
+        let grid = SweepGrid::new(FlowConfig::scattered_small().fast())
+            .mesh(10, 10)
+            .row_counts([4])
+            .transform(id)
+            .transform("hot-spread:0.16");
+        assert_eq!(grid.scenario_count(), 3);
+        let report = run_sweep(&grid, 2).unwrap();
+        let composite = &report.results[1];
+        assert_eq!(composite.scenario.label(), id);
+        assert_eq!(composite.report.transform_id, id);
+        assert_eq!(composite.scenario.strategy, Strategy::None, "facade value");
+        // The sweep's transform evaluation must match a direct run.
+        let flow = Flow::new(grid.scenario_config(&composite.scenario)).unwrap();
+        let t = crate::TransformRegistry::parse(id).unwrap();
+        let direct = flow.run_transform(t.as_ref()).unwrap();
+        assert!((direct.after.peak_c - composite.report.after.peak_c).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid transform id")]
+    fn bad_transform_ids_fail_at_grid_construction() {
+        let _ = SweepGrid::new(FlowConfig::scattered_small().fast()).transform("bogus:1");
     }
 
     #[test]

@@ -37,6 +37,20 @@ pub fn uniform_slack(
     Ok(Placer::new(relaxed).place(netlist)?)
 }
 
+/// The surrogate *map* of a uniform-slack stage: every bin's power
+/// density scaled by `1/(1 + area_overhead)`, on the input map's own
+/// mesh. This is the composable map→map half of [`uniform_power_delta`],
+/// used by transform pipelines whose later stages reshape the diluted
+/// map further.
+pub fn uniform_surrogate_map(power: &Grid2d<f64>, area_overhead: f64) -> Grid2d<f64> {
+    let dilute = 1.0 / (1.0 + area_overhead.max(0.0));
+    let mut out = power.clone();
+    for value in out.values_mut() {
+        *value *= dilute;
+    }
+    out
+}
+
 /// The screening surrogate for a Default (uniform slack) candidate:
 /// spreading the same cells over `1 + area_overhead` times the area
 /// scales every bin's power density by `1/(1 + area_overhead)`, modeled

@@ -135,11 +135,17 @@ pub fn wrapper_power_delta(
     regions: &[Rect],
     area_overhead: f64,
 ) -> PowerDelta {
-    let dilute = 1.0 / (1.0 + area_overhead.max(0.0));
+    let diluted = crate::uniform_surrogate_map(power, area_overhead);
+    PowerDelta::between(power, &wrap_surrogate_map(&diluted, regions), 1e-15)
+}
+
+/// The surrogate *map* of a wrap stage alone: the power of the bins
+/// inside each wrap `region` pooled and flattened across them, with no
+/// dilution — the composable map→map half of [`wrapper_power_delta`],
+/// used by transform pipelines that stack wrapping on top of another
+/// area-spending stage (uniform slack, row insertion).
+pub fn wrap_surrogate_map(power: &Grid2d<f64>, regions: &[Rect]) -> Grid2d<f64> {
     let mut new_map = power.clone();
-    for value in new_map.values_mut() {
-        *value *= dilute;
-    }
     for region in regions {
         let mut bins = Vec::new();
         let mut pooled = 0.0;
@@ -159,7 +165,7 @@ pub fn wrapper_power_delta(
             *new_map.get_mut(ix, iy) = flat;
         }
     }
-    PowerDelta::between(power, &new_map, 1e-15)
+    new_map
 }
 
 /// What a wrapper transformation did.

@@ -1,0 +1,140 @@
+//! Acceptance tests for the strategy-transform engine's Pareto
+//! optimizer: the frontier must be monotone and non-dominated, span
+//! several technique families (composites and post-enum techniques
+//! included), bit-match direct runs, and stay frugal with exact
+//! verifications.
+
+use postplace::{
+    pareto_frontier, Flow, FlowConfig, OptimizeConfig, Strategy, TransformRegistry, WorkloadSpec,
+};
+
+const BUDGETS: [f64; 8] = [0.04, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.35];
+
+fn clustered_flow() -> Flow {
+    Flow::new(FlowConfig::with_workload(WorkloadSpec::clustered_hotspot()).fast()).unwrap()
+}
+
+#[test]
+fn frontier_is_monotone_diverse_and_bit_exact() {
+    let flow = clustered_flow();
+    let registry = TransformRegistry::standard();
+    let frontier = pareto_frontier(&flow, &BUDGETS, &registry, &OptimizeConfig::default()).unwrap();
+
+    // At least 5 exact-verified points spanning ≥ 3 distinct transform
+    // kinds, with a composite and a new (post-enum) technique on the
+    // frontier for the clustered-hotspot workload.
+    assert!(
+        frontier.points.len() >= 5,
+        "only {} frontier points",
+        frontier.points.len()
+    );
+    let kinds: std::collections::HashSet<&str> =
+        frontier.points.iter().map(|p| p.kind.as_str()).collect();
+    assert!(
+        kinds.len() >= 3,
+        "only {} distinct kinds: {kinds:?}",
+        kinds.len()
+    );
+    assert!(
+        frontier
+            .points
+            .iter()
+            .any(|p| p.transform_id.starts_with("composite(")),
+        "no composite on the frontier: {kinds:?}"
+    );
+    assert!(
+        frontier
+            .points
+            .iter()
+            .any(|p| p.kind.contains("targeted-eri") || p.kind.contains("hot-spread")),
+        "no new technique on the frontier: {kinds:?}"
+    );
+
+    // Monotone and non-dominated: overhead strictly increasing,
+    // reduction strictly increasing along the frontier.
+    for pair in frontier.points.windows(2) {
+        assert!(
+            pair[1].report.area_overhead_pct > pair[0].report.area_overhead_pct,
+            "overhead not increasing: {} then {}",
+            pair[0].transform_id,
+            pair[1].transform_id
+        );
+        assert!(
+            pair[1].report.reduction_pct() > pair[0].report.reduction_pct(),
+            "{} is dominated by {}",
+            pair[1].transform_id,
+            pair[0].transform_id
+        );
+    }
+
+    // Every reported point bit-matches a direct `Flow::run` of the
+    // transform its id names (transform runs are deterministic; for
+    // enum-facade transforms this is literally `Flow::run`).
+    for point in &frontier.points {
+        let transform = TransformRegistry::parse(&point.transform_id).unwrap();
+        let direct = match transform.as_strategy() {
+            Some(strategy) => flow.run(strategy).unwrap(),
+            None => flow.run_transform(transform.as_ref()).unwrap(),
+        };
+        assert_eq!(
+            point.report.after.peak_c, direct.after.peak_c,
+            "{}: frontier peak must bit-match a direct run",
+            point.transform_id
+        );
+        assert_eq!(point.report.area_overhead_pct, direct.area_overhead_pct);
+        assert_eq!(point.report.transform_id, direct.transform_id);
+    }
+
+    // Exact spend accounting: screening does the work, verification
+    // stays a small fraction (the bench gate holds 25 %).
+    assert!(
+        frontier.screened >= 40,
+        "only {} screened",
+        frontier.screened
+    );
+    assert!(
+        frontier.exact_share() <= 0.25,
+        "exact verifications are {:.0}% of screened",
+        frontier.exact_share() * 100.0
+    );
+    assert!(frontier.exact_runs >= frontier.points.len());
+}
+
+#[test]
+fn frontier_respects_budget_caps() {
+    // Every verified point's *planned* overhead fit its budget; the
+    // realized overhead stays within the slack of the largest budget.
+    let flow = clustered_flow();
+    let registry = TransformRegistry::standard();
+    let config = OptimizeConfig::default();
+    let frontier = pareto_frontier(&flow, &BUDGETS, &registry, &config).unwrap();
+    let cap = BUDGETS.last().unwrap() * 100.0;
+    for point in &frontier.points {
+        assert!(
+            point.budget <= *BUDGETS.last().unwrap(),
+            "{} attributed to budget {}",
+            point.transform_id,
+            point.budget
+        );
+        assert!(
+            point.report.area_overhead_pct <= cap + 2.0,
+            "{}: +{:.2}% blows past the grid",
+            point.transform_id,
+            point.report.area_overhead_pct
+        );
+    }
+}
+
+#[test]
+fn enum_facade_and_bench_records_stay_consumable() {
+    // The Strategy enum API still drives the flow, and its reports now
+    // carry the transform id the bench schema records.
+    let flow = clustered_flow();
+    let report = flow.run(Strategy::EmptyRowInsertion { rows: 6 }).unwrap();
+    assert_eq!(report.strategy, Strategy::EmptyRowInsertion { rows: 6 });
+    assert_eq!(report.transform_id, "eri:6");
+    assert_eq!(report.strategy.to_string(), "eri(6 rows)");
+    // Round-trip through the serialization facade.
+    let transform = TransformRegistry::parse(&report.transform_id).unwrap();
+    assert_eq!(transform.as_strategy(), Some(report.strategy));
+}

@@ -55,6 +55,83 @@ pub fn fill_whitespace(
     Ok(())
 }
 
+/// Splits `total_free` whitespace sites over weighted gap slots by
+/// largest remainder: slot `j` receives `total_free · w[j] / Σw` sites,
+/// rounded so the allocation sums exactly to `total_free`. The integer
+/// half of temperature-driven whitespace shaping — callers derive the
+/// weights (e.g. from a thermal profile) and re-pack the row with
+/// [`respread_row`].
+///
+/// Non-finite or negative weights count as zero; if every weight is
+/// zero the split is uniform.
+pub fn weighted_row_gaps(total_free: u32, weights: &[f64]) -> Vec<u32> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let clean: Vec<f64> = weights
+        .iter()
+        .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+        .collect();
+    let total: f64 = clean.iter().sum();
+    let shares: Vec<f64> = if total > 0.0 {
+        clean
+            .iter()
+            .map(|w| total_free as f64 * w / total)
+            .collect()
+    } else {
+        vec![total_free as f64 / clean.len() as f64; clean.len()]
+    };
+    let mut gaps: Vec<u32> = shares.iter().map(|s| s.floor() as u32).collect();
+    let assigned: u32 = gaps.iter().sum();
+    // Hand the remainder to the largest fractional parts (ties by
+    // position, for determinism).
+    let mut order: Vec<usize> = (0..gaps.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = shares[a] - shares[a].floor();
+        let fb = shares[b] - shares[b].floor();
+        fb.total_cmp(&fa).then(a.cmp(&b))
+    });
+    for &j in order.iter().take((total_free - assigned) as usize) {
+        gaps[j] += 1;
+    }
+    gaps
+}
+
+/// Re-packs one row's cells left-to-right with the given gap widths
+/// (`gaps[i]` sites of whitespace before the `i`-th cell, in site
+/// order): the cells keep their row and relative order, only the
+/// whitespace between them moves. Existing fillers are dropped — re-pour
+/// with [`fill_whitespace`] after the last row.
+///
+/// # Panics
+///
+/// Panics if `gaps` is shorter than the row's cell count or the gaps
+/// plus cell widths overflow the row.
+pub fn respread_row(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    placement: &mut Placement,
+    row: u32,
+    gaps: &[u32],
+) {
+    let cells = placement.row_cells(row);
+    assert!(
+        gaps.len() >= cells.len(),
+        "need one gap per cell: {} < {}",
+        gaps.len(),
+        cells.len()
+    );
+    for &(_, id, _) in &cells {
+        placement.remove(id);
+    }
+    let mut cursor = 0u32;
+    for (i, &(_, id, width)) in cells.iter().enumerate() {
+        cursor += gaps[i];
+        placement.place(netlist, floorplan, id, row, cursor);
+        cursor += width;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +192,37 @@ mod tests {
             }
             assert_eq!(cursor, fp.row(row as usize).num_sites);
         }
+    }
+
+    #[test]
+    fn weighted_gaps_sum_exactly_and_follow_weights() {
+        let gaps = weighted_row_gaps(10, &[1.0, 3.0, 1.0]);
+        assert_eq!(gaps.iter().sum::<u32>(), 10);
+        assert!(gaps[1] > gaps[0] && gaps[1] > gaps[2], "{gaps:?}");
+        // Zero/degenerate weights fall back to a uniform split.
+        let flat = weighted_row_gaps(9, &[0.0, f64::NAN, -1.0]);
+        assert_eq!(flat.iter().sum::<u32>(), 9);
+        assert_eq!(flat, vec![3, 3, 3]);
+        assert!(weighted_row_gaps(5, &[]).is_empty());
+    }
+
+    #[test]
+    fn respread_keeps_order_and_tiles_after_refill() {
+        let (nl, fp, mut p) = setup();
+        p.place(&nl, &fp, CellId::new(0), 0, 10);
+        p.place(&nl, &fp, CellId::new(1), 0, 40);
+        let used = 4; // two 2-site inverters
+        let free = fp.row(0).num_sites - used;
+        // All whitespace before the first cell, none between.
+        let gaps = [free, 0, 0];
+        respread_row(&nl, &fp, &mut p, 0, &gaps[..]);
+        let cells = p.row_cells(0);
+        assert_eq!(cells[0].1, CellId::new(0), "order preserved");
+        assert_eq!(cells[0].0, free, "first cell pushed right");
+        assert_eq!(cells[1].0, free + 2, "second cell packed against it");
+        fill_whitespace(&nl, &fp, &mut p).unwrap();
+        let filler_sites: u32 = p.fillers().iter().map(|f| f.width_sites).sum();
+        assert_eq!(filler_sites + used, fp.total_sites() as u32);
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod validate;
 pub use congestion::{congestion_map, CongestionStats};
 pub use db::{FillerInst, PlacedCell, Placement};
 pub use error::PlaceError;
-pub use fillers::fill_whitespace;
+pub use fillers::{fill_whitespace, respread_row, weighted_row_gaps};
 pub use floorplan::{Floorplan, Row};
 pub use hpwl::{net_hpwl, total_hpwl};
 pub use place::{region_row_segments, spread_into_region, PlacementResult, Placer, PlacerConfig};

@@ -287,14 +287,14 @@ fn time_backend(
     let build_started = Instant::now();
     let model = FactorizedThermalModel::build(&config, die).map_err(|e| e.to_string())?;
     let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
-    let (map, mut iterations, _) = model.solve_with_stats(&power).map_err(|e| e.to_string())?;
+    let (map, mut stats) = model.solve_with_stats(&power).map_err(|e| e.to_string())?;
     let solve_started = Instant::now();
     for _ in 0..solves {
-        let (_, it, _) = model.solve_with_stats(&power).map_err(|e| e.to_string())?;
-        iterations = it;
+        let (_, s) = model.solve_with_stats(&power).map_err(|e| e.to_string())?;
+        stats = s;
     }
     let solve_ms = solve_started.elapsed().as_secs_f64() * 1e3 / solves.max(1) as f64;
-    Ok((build_ms, solve_ms, iterations, map))
+    Ok((build_ms, solve_ms, stats.iterations, map))
 }
 
 /// The solver-scaling section: structured stencil + multigrid versus the

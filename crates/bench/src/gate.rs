@@ -93,6 +93,14 @@ pub fn check_against_baseline(
                 let expected_peak = expected.get("peak_after_c").and_then(Json::as_f64);
                 let got_peak = found.get("peak_after_c").and_then(Json::as_f64);
                 match (expected_peak, got_peak) {
+                    // A NaN peak would sail through the drift comparison
+                    // below (`NaN > tol` is false) — reject it by name.
+                    (Some(want), Some(got)) if !want.is_finite() || !got.is_finite() => {
+                        failures.push(format!(
+                            "scenario `{key}`: non-finite peak_after_c \
+                             (run {got}, baseline {want})"
+                        ));
+                    }
                     (Some(want), Some(got)) if (want - got).abs() > peak_tolerance_c => {
                         failures.push(format!(
                             "scenario `{key}`: peak {got:.3} °C drifted from baseline \
@@ -125,6 +133,11 @@ pub fn check_against_baseline(
     let current_speedup = current.get("speedup").and_then(Json::as_f64);
     let baseline_speedup = baseline.get("speedup").and_then(Json::as_f64);
     match (current_speedup, baseline_speedup) {
+        (Some(got), Some(want)) if !got.is_finite() || !want.is_finite() => {
+            failures.push(format!(
+                "non-finite `speedup` value (run {got}, baseline {want})"
+            ));
+        }
         (Some(got), Some(want)) => {
             let floor = want * (1.0 - max_speedup_regression);
             if got < floor {
@@ -485,6 +498,82 @@ mod tests {
         );
         // Pre-v4 documents (no section on either side) still pass.
         assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
+    }
+
+    #[test]
+    fn non_finite_speedup_fails_instead_of_passing_silently() {
+        // `NaN < floor` is false, so without an explicit guard a NaN
+        // speedup would pass the regression gate.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let failures = check_against_baseline(&doc(bad, 81.5), &doc(3.0, 81.5), 0.25, 0.2);
+            assert!(
+                failures.iter().any(|f| f.contains("non-finite `speedup`")),
+                "speedup {bad}: {failures:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_peak_fails_instead_of_passing_silently() {
+        let failures = check_against_baseline(&doc(3.0, f64::NAN), &doc(3.0, 81.5), 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("non-finite peak_after_c")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_delta_values_fail_by_name() {
+        let base = with_delta(doc(3.0, 81.5), 0.001, 20.0);
+        let poisoned = with_delta(doc(3.0, 81.5), f64::NAN, 20.0);
+        let failures = check_against_baseline(&poisoned, &base, 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("max_drift_c") && f.contains("not finite")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_baseline_json_is_a_named_error_not_a_panic() {
+        // The gate's callers parse the baseline with Json::parse; a
+        // truncated or corrupted file must surface as Err, never panic.
+        for bad in ["", "{\"records\": [", "{\"speedup\": }", "not json at all"] {
+            assert!(
+                Json::parse(bad).is_err(),
+                "accepted malformed input {bad:?}"
+            );
+        }
+        // A baseline that parses but lacks the gated sections fails with
+        // messages naming each missing piece.
+        let hollow = Json::parse("{}").unwrap();
+        let failures = check_against_baseline(&hollow, &doc(3.0, 81.5), 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("missing `records`")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("missing `speedup`")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn overflowing_literals_are_caught_at_the_gate() {
+        // `1e999` parses to +inf via str::parse::<f64>; the finiteness
+        // guard has to catch what the parser lets through.
+        let doc_inf =
+            Json::parse(r#"{"delta": {"max_drift_c": 1e999, "throughput_ratio": 20.0}}"#).unwrap();
+        let failures = check_delta_section(&doc_inf, &doc_inf);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("max_drift_c") && f.contains("not finite")),
+            "{failures:?}"
+        );
     }
 
     #[test]

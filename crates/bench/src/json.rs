@@ -77,9 +77,16 @@ impl Json {
     /// absent or not a (finite-rendered) number.
     pub fn require_f64(&self, section: &str, key: &str) -> Result<f64, String> {
         match self.get(key) {
-            Some(value) => value
-                .as_f64()
-                .ok_or_else(|| format!("section `{section}`: key `{key}` is not a number")),
+            Some(value) => match value.as_f64() {
+                // NaN/infinity poison every threshold comparison
+                // downstream (`NaN > tol` is false), so a gate fed a
+                // non-finite number must fail by name, not silently pass.
+                Some(v) if v.is_finite() => Ok(v),
+                Some(v) => Err(format!(
+                    "section `{section}`: key `{key}` is not finite ({v})"
+                )),
+                None => Err(format!("section `{section}`: key `{key}` is not a number")),
+            },
             None => Err(format!("section `{section}` is missing key `{key}`")),
         }
     }

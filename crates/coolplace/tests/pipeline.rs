@@ -61,14 +61,16 @@ fn manual_pipeline_reproduces_flow_steps() {
         &placed.placement,
         None,
         &TimingConfig::default(),
-    );
+    )
+    .unwrap();
     let hot = analyze(
         &netlist,
         &placed.floorplan,
         &placed.placement,
         Some(&tmap),
         &TimingConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(hot.critical_path_ps >= cold.critical_path_ps);
 
     // 7. Wirelength is sane.

@@ -7,9 +7,18 @@ pub enum FlowError {
     Place(placement::PlaceError),
     /// Thermal model construction or solve failed.
     Thermal(thermalsim::ThermalError),
+    /// Static timing analysis failed.
+    Timing(timan::TimingError),
     /// A strategy was given inconsistent parameters.
     BadStrategy {
         /// Human-readable explanation.
+        detail: String,
+    },
+    /// An engine invariant was violated — a bug in this crate, not in
+    /// the caller's input. Surfaced as an error instead of a panic so a
+    /// long-running sweep degrades to a failed scenario, not a crash.
+    Internal {
+        /// Which invariant broke.
         detail: String,
     },
 }
@@ -20,7 +29,9 @@ impl std::fmt::Display for FlowError {
             FlowError::Netlist(e) => write!(f, "netlist: {e}"),
             FlowError::Place(e) => write!(f, "placement: {e}"),
             FlowError::Thermal(e) => write!(f, "thermal: {e}"),
+            FlowError::Timing(e) => write!(f, "timing: {e}"),
             FlowError::BadStrategy { detail } => write!(f, "bad strategy: {detail}"),
+            FlowError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
         }
     }
 }
@@ -31,7 +42,8 @@ impl std::error::Error for FlowError {
             FlowError::Netlist(e) => Some(e),
             FlowError::Place(e) => Some(e),
             FlowError::Thermal(e) => Some(e),
-            FlowError::BadStrategy { .. } => None,
+            FlowError::Timing(e) => Some(e),
+            FlowError::BadStrategy { .. } | FlowError::Internal { .. } => None,
         }
     }
 }
@@ -51,5 +63,11 @@ impl From<placement::PlaceError> for FlowError {
 impl From<thermalsim::ThermalError> for FlowError {
     fn from(e: thermalsim::ThermalError) -> Self {
         FlowError::Thermal(e)
+    }
+}
+
+impl From<timan::TimingError> for FlowError {
+    fn from(e: timan::TimingError) -> Self {
+        FlowError::Timing(e)
     }
 }

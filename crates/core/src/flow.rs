@@ -166,6 +166,7 @@ impl ThermalSummary {
 }
 
 /// Everything one experiment run produces.
+#[must_use = "a FlowReport is the entire output of an experiment run"]
 #[derive(Debug, Clone)]
 pub struct FlowReport {
     /// The legacy strategy facade of the transform that was applied —
@@ -275,9 +276,18 @@ impl ThermalModelCache {
         ThermalModelCache::default()
     }
 
+    /// Locks the map, recovering from poisoning: the cache holds only
+    /// finished `Arc`s, so a panic on another thread cannot leave it in
+    /// a half-written state worth propagating.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<ModelKey, Arc<FactorizedThermalModel>>> {
+        self.models
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Cached models currently held.
     pub fn len(&self) -> usize {
-        self.models.lock().expect("model cache poisoned").len()
+        self.lock().len()
     }
 
     /// Whether the cache is empty.
@@ -291,14 +301,14 @@ impl ThermalModelCache {
         die: Rect,
     ) -> Result<Arc<FactorizedThermalModel>, FlowError> {
         let key = model_key(config, die);
-        if let Some(model) = self.models.lock().expect("model cache poisoned").get(&key) {
+        if let Some(model) = self.lock().get(&key) {
             return Ok(Arc::clone(model));
         }
         // Build outside the lock so distinct geometries factorize
         // concurrently; a rare double build of the same key just means
         // the loser's model is dropped in favour of the cached one.
         let model = Arc::new(FactorizedThermalModel::build(config, die)?);
-        let mut models = self.models.lock().expect("model cache poisoned");
+        let mut models = self.lock();
         if let Some(existing) = models.get(&key) {
             return Ok(Arc::clone(existing));
         }
@@ -509,7 +519,7 @@ impl Flow {
         let pl = &self.base.placement;
         let (power, pmap, tmap) = self.analyze_placement_mode(fp, pl, cached)?;
         let hotspots = detect_hotspots(&tmap, &self.config.hotspot);
-        let timing = analyze(&self.netlist, fp, pl, Some(&tmap), &self.config.timing);
+        let timing = analyze(&self.netlist, fp, pl, Some(&tmap), &self.config.timing)?;
         let hpwl_um = total_hpwl(&self.netlist, fp, pl);
         Ok(BaselineAnalysis {
             power,
@@ -764,7 +774,7 @@ impl Flow {
             &new_pl,
             Some(&tmap_after),
             &self.config.timing,
-        );
+        )?;
         let hpwl_after = total_hpwl(&self.netlist, &new_fp, &new_pl);
         let base_area = base_fp.core().area();
         let new_area = new_fp.core().area();

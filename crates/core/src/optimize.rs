@@ -59,6 +59,7 @@ impl Default for OptimizeConfig {
 }
 
 /// Result of a row-count optimization.
+#[must_use = "a RowOptimum carries the selected row count and its evidence"]
 #[derive(Debug, Clone)]
 pub struct RowOptimum {
     /// The smallest row count meeting the target (if any met it).
@@ -194,6 +195,7 @@ pub fn minimize_rows_for_target(
 }
 
 /// The outcome of a budget search, with its evaluation accounting.
+#[must_use = "a BudgetOptimum carries the search result and its accounting"]
 #[derive(Debug, Clone)]
 pub struct BudgetOptimum {
     /// The winning report (always from an exact run).
@@ -320,6 +322,7 @@ pub fn best_strategy_within_budget_with(
 }
 
 /// One exact-verified point of an area-vs-temperature frontier.
+#[must_use = "a ParetoPoint is an exact-verified trade-off the caller asked for"]
 #[derive(Debug, Clone)]
 pub struct ParetoPoint {
     /// Stable id of the transform (parse it back with
@@ -339,6 +342,7 @@ pub struct ParetoPoint {
 /// The outcome of [`pareto_frontier`]: the paper's headline comparison
 /// — which technique wins at which area overhead — automated over the
 /// whole transform registry.
+#[must_use = "a ParetoFrontier is the product of many exact evaluations"]
 #[derive(Debug, Clone)]
 pub struct ParetoFrontier {
     /// Non-dominated points, sorted by realized area overhead; the

@@ -150,6 +150,7 @@ impl SweepGrid {
     /// typo should fail at construction, not mid-sweep.
     pub fn transform(mut self, id: impl Into<String>) -> Self {
         let id = id.into();
+        // lint: allow(no-panic, reason = "documented panic: grid construction is static config, a typo must fail fast at build, not mid-sweep")
         crate::TransformRegistry::parse(&id).expect("invalid transform id in sweep grid");
         self.transforms.push(id);
         self
@@ -302,7 +303,12 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
                     .effective_workloads()
                     .iter()
                     .find(|(label, _)| *label == scenario.workload)
-                    .expect("scenario workload comes from the grid")
+                    .ok_or_else(|| FlowError::Internal {
+                        detail: format!(
+                            "scenario workload `{}` is not in the grid",
+                            scenario.workload
+                        ),
+                    })?
                     .1
                     .clone();
                 groups.push((scenario.workload.clone(), spec, scenario.mesh));
@@ -315,9 +321,15 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
     let threads = threads.max(1).min(scenarios.len());
     let error: Mutex<Option<FlowError>> = Mutex::new(None);
     let abort = AtomicBool::new(false);
+    // All worker-shared mutexes guard plain data that is never left
+    // half-written across a panic, so a poisoned lock is recovered
+    // rather than cascading the panic into every sibling worker.
+    fn unpoison<T>(e: std::sync::PoisonError<T>) -> T {
+        e.into_inner()
+    }
     let fail = |e: FlowError| {
         abort.store(true, Ordering::SeqCst);
-        let mut slot = error.lock().expect("error slot poisoned");
+        let mut slot = error.lock().unwrap_or_else(unpoison);
         slot.get_or_insert(e);
     };
 
@@ -346,24 +358,26 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
                     });
                 match built {
                     Ok(flow) => {
-                        *flow_slots[gi].lock().expect("flow slot poisoned") = Some(flow);
+                        *flow_slots[gi].lock().unwrap_or_else(unpoison) = Some(flow);
                     }
                     Err(e) => fail(e),
                 }
             });
         }
     });
-    if let Some(e) = error.lock().expect("error slot poisoned").take() {
+    if let Some(e) = error.lock().unwrap_or_else(unpoison).take() {
         return Err(e);
     }
     let flows: Vec<Flow> = flow_slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("flow slot poisoned")
-                .expect("all groups built or an error returned")
+                .unwrap_or_else(unpoison)
+                .ok_or_else(|| FlowError::Internal {
+                    detail: "a flow group was never built yet no error was recorded".to_string(),
+                })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     // Phase 2: evaluate scenarios against the shared flows.
     let results: Mutex<Vec<Option<ScenarioResult>>> =
@@ -391,22 +405,26 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
                             report,
                             wall_ms: eval_started.elapsed().as_secs_f64() * 1e3,
                         };
-                        results.lock().expect("results poisoned")[i] = Some(result);
+                        results.lock().unwrap_or_else(unpoison)[i] = Some(result);
                     }
                     Err(e) => fail(e),
                 }
             });
         }
     });
-    if let Some(e) = error.lock().expect("error slot poisoned").take() {
+    if let Some(e) = error.lock().unwrap_or_else(unpoison).take() {
         return Err(e);
     }
     let results = results
         .into_inner()
-        .expect("results poisoned")
+        .unwrap_or_else(unpoison)
         .into_iter()
-        .map(|r| r.expect("every scenario evaluated or an error returned"))
-        .collect();
+        .map(|r| {
+            r.ok_or_else(|| FlowError::Internal {
+                detail: "a scenario was never evaluated yet no error was recorded".to_string(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
     Ok(SweepReport {
         results,
         threads,

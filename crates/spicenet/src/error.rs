@@ -38,6 +38,12 @@ impl std::error::Error for CircuitError {}
 pub enum SolveError {
     /// The circuit has no nodes or no elements.
     EmptyCircuit,
+    /// An injection or probe named a node that does not belong to the
+    /// factorized circuit.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+    },
     /// The system matrix is singular — typically a node or subcircuit with
     /// no DC path to ground or a voltage source.
     Singular {
@@ -57,6 +63,9 @@ impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::EmptyCircuit => write!(f, "circuit has no solvable content"),
+            SolveError::UnknownNode { node } => {
+                write!(f, "node {node} does not belong to the factorized circuit")
+            }
             SolveError::Singular { detail } => write!(f, "singular system: {detail}"),
             SolveError::NotConverged {
                 iterations,

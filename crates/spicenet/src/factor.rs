@@ -13,7 +13,7 @@
 use crate::circuit::{Circuit, NodeId};
 use crate::mna::{dirichlet_map, reduce, ReducedSystem, SolveOptions};
 use crate::sparse::{preconditioned_cg, preconditioned_cg_block, Preconditioner};
-use crate::SolveError;
+use crate::{SolveError, SolveStats};
 
 /// A circuit reduced, assembled and preconditioned once, ready to be
 /// solved against many current-injection patterns.
@@ -111,44 +111,41 @@ impl FactorizedCircuit {
     /// # Errors
     ///
     /// Returns [`SolveError::NotConverged`] or [`SolveError::Singular`]
-    /// from the iterative solve.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an injection names a node that does not belong to the
-    /// factorized circuit.
+    /// from the iterative solve, and [`SolveError::UnknownNode`] if an
+    /// injection names a node that does not belong to the factorized
+    /// circuit.
     pub fn solve_injections(&self, injections: &[(NodeId, f64)]) -> Result<Vec<f64>, SolveError> {
-        self.solve_injections_stats(injections).map(|(v, _, _)| v)
+        self.solve_injections_stats(injections).map(|(v, _)| v)
     }
 
     /// Like [`FactorizedCircuit::solve_injections`], additionally
-    /// returning `(iterations, relative_residual)` of the re-solve —
-    /// diagnostics for preconditioner quality.
+    /// returning the [`SolveStats`] of the re-solve — diagnostics for
+    /// preconditioner quality.
     ///
     /// # Errors
-    ///
-    /// Same as [`FactorizedCircuit::solve_injections`].
-    ///
-    /// # Panics
     ///
     /// Same as [`FactorizedCircuit::solve_injections`].
     pub fn solve_injections_stats(
         &self,
         injections: &[(NodeId, f64)],
-    ) -> Result<(Vec<f64>, usize, f64), SolveError> {
+    ) -> Result<(Vec<f64>, SolveStats), SolveError> {
         let mut rhs = self.static_rhs.clone();
         for &(node, amps) in injections {
             let slot = self
                 .sys
                 .reduced
                 .get(node.index())
-                .expect("injection into a foreign node");
+                .ok_or(SolveError::UnknownNode { node })?;
             if let Some(ri) = *slot {
                 rhs[ri] += amps;
             }
         }
         if self.sys.a.n() == 0 {
-            return Ok((self.sys.expand(&[]), 0, 0.0));
+            let stats = SolveStats {
+                iterations: 0,
+                relative_residual: 0.0,
+            };
+            return Ok((self.sys.expand(&[]), stats));
         }
         let (x, iterations, residual) = preconditioned_cg(
             &self.sys.a,
@@ -171,7 +168,11 @@ impl FactorizedCircuit {
                 }
             }
         })?;
-        Ok((self.sys.expand(&x), iterations, residual))
+        let stats = SolveStats {
+            iterations,
+            relative_residual: residual,
+        };
+        Ok((self.sys.expand(&x), stats))
     }
 
     /// Solves a whole batch of injection patterns against the one
@@ -184,11 +185,8 @@ impl FactorizedCircuit {
     /// # Errors
     ///
     /// Returns [`SolveError::NotConverged`] / [`SolveError::Singular`]
-    /// if any system of the batch fails.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an injection names a node that does not belong to the
+    /// if any system of the batch fails, and [`SolveError::UnknownNode`]
+    /// if an injection names a node that does not belong to the
     /// factorized circuit.
     pub fn solve_many(&self, batches: &[Vec<(NodeId, f64)>]) -> Result<Vec<Vec<f64>>, SolveError> {
         let k = batches.len();
@@ -209,7 +207,7 @@ impl FactorizedCircuit {
                     .sys
                     .reduced
                     .get(node.index())
-                    .expect("injection into a foreign node");
+                    .ok_or(SolveError::UnknownNode { node })?;
                 if let Some(ri) = *slot {
                     block[ri * k + j] += amps;
                 }
@@ -289,12 +287,13 @@ impl FactorizedCircuit {
     ///
     /// # Errors
     ///
-    /// Same as [`FactorizedCircuit::influence_columns`].
+    /// Same as [`FactorizedCircuit::influence_columns`], plus
+    /// [`SolveError::UnknownNode`] for a node that does not belong to
+    /// the factorized circuit.
     ///
     /// # Panics
     ///
-    /// Panics if a node does not belong to the factorized circuit or a
-    /// seed's length does not match the node count.
+    /// Panics if a seed's length does not match the node count.
     pub fn influence_columns_seeded(
         &self,
         nodes: &[NodeId],
@@ -314,12 +313,12 @@ impl FactorizedCircuit {
             return Ok((0..k).map(|_| (self.sys.expand_delta(&[]), 0)).collect());
         }
         let mut block = vec![0.0f64; n * k];
-        for (j, node) in nodes.iter().enumerate() {
+        for (j, &node) in nodes.iter().enumerate() {
             let slot = self
                 .sys
                 .reduced
                 .get(node.index())
-                .expect("influence column of a foreign node");
+                .ok_or(SolveError::UnknownNode { node })?;
             if let Some(ri) = *slot {
                 block[ri * k + j] = 1.0;
             }

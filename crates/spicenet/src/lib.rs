@@ -43,6 +43,8 @@ mod dense;
 mod error;
 mod factor;
 mod mna;
+#[cfg(feature = "paranoid")]
+pub mod paranoid;
 mod solution;
 mod sparse;
 mod stencil;
@@ -51,7 +53,7 @@ pub use circuit::{Circuit, NodeId, NodeRef};
 pub use error::{CircuitError, SolveError};
 pub use factor::FactorizedCircuit;
 pub use mna::{Method, SolveOptions};
-pub use solution::DcSolution;
+pub use solution::{DcSolution, SolveStats};
 pub use sparse::CsrMatrix;
 pub use stencil::{
     FactorizedStencil, LayeredStencilSpec, MgWorkspace, MultigridPreconditioner, StencilOperator,

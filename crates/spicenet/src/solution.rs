@@ -1,5 +1,20 @@
 use crate::NodeRef;
 
+/// Convergence diagnostics of one iterative re-solve — the
+/// preconditioner-quality signal behind the bench pipeline's
+/// solver-scaling section. `#[must_use]`: a dropped `SolveStats` means
+/// a caller asked for diagnostics it never looked at (use
+/// `solve_injections` instead).
+#[must_use]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Conjugate-gradient iterations performed (0 when the reduced
+    /// system is empty).
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖ / ‖b‖`.
+    pub relative_residual: f64,
+}
+
 /// The result of a DC operating-point analysis.
 ///
 /// # Examples

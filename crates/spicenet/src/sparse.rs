@@ -593,8 +593,16 @@ pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
     let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    if !rz.is_finite() || rz <= 0.0 {
+        // rᵀM⁻¹r must be positive when M is SPD and r ≠ 0; anything else
+        // (indefinite preconditioner, non-finite RHS) fails the solve
+        // cleanly instead of silently corrupting the iteration.
+        return Err((0, f64::INFINITY));
+    }
     for it in 0..max_iter {
         a.apply_into(&p, &mut ap);
+        #[cfg(feature = "paranoid")]
+        crate::paranoid::check_finite("preconditioned_cg matvec output", &ap);
         let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
         if pap <= 0.0 {
             // Not SPD (or numerically singular).
@@ -606,11 +614,21 @@ pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
             r[i] -= alpha * ap[i];
         }
         let norm_r = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        #[cfg(feature = "paranoid")]
+        crate::paranoid::check_residual("preconditioned_cg", it + 1, norm_r / norm_b);
         if norm_r / norm_b < tol {
+            #[cfg(feature = "paranoid")]
+            {
+                crate::paranoid::check_finite("preconditioned_cg solution", &x);
+                crate::paranoid::check_conservation("preconditioned_cg", &r, norm_b, tol);
+            }
             return Ok((x, it + 1, norm_r / norm_b));
         }
         precond.precondition_into(&r, &mut z, &mut ws);
         let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        if !rz_new.is_finite() || rz_new <= 0.0 {
+            return Err((it + 1, norm_r / norm_b));
+        }
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
@@ -734,8 +752,17 @@ pub(crate) fn preconditioned_cg_block<A: LinearOperator, M: Preconditioning>(
     }
     let mut pap = vec![0.0f64; k];
     let mut alpha = vec![0.0f64; k];
+    for (j, live) in active.iter().enumerate() {
+        if *live && (!rz[j].is_finite() || rz[j] <= 0.0) {
+            // Preconditioner not SPD on this residual (or non-finite
+            // RHS): fail the whole block cleanly.
+            return Err((0, f64::INFINITY));
+        }
+    }
     for it in 0..max_iter {
         a.apply_block_into(&p, &mut ap, k);
+        #[cfg(feature = "paranoid")]
+        crate::paranoid::check_finite("preconditioned_cg_block matvec output", &ap);
         pap.fill(0.0);
         for (pi, api) in p.chunks_exact(k).zip(ap.chunks_exact(k)) {
             for ((pj, aj), acc) in pi.iter().zip(api).zip(pap.iter_mut()) {
@@ -767,6 +794,8 @@ pub(crate) fn preconditioned_cg_block<A: LinearOperator, M: Preconditioning>(
                 continue;
             }
             let rel = norm_r[j].sqrt() / norm_b[j];
+            #[cfg(feature = "paranoid")]
+            crate::paranoid::check_residual("preconditioned_cg_block", it + 1, rel);
             stats[j] = (it + 1, rel);
             if rel < tol {
                 active[j] = false;
@@ -775,6 +804,21 @@ pub(crate) fn preconditioned_cg_block<A: LinearOperator, M: Preconditioning>(
             }
         }
         if !any_active {
+            #[cfg(feature = "paranoid")]
+            {
+                crate::paranoid::check_finite("preconditioned_cg_block solution", &x);
+                for j in 0..k {
+                    if norm_b[j] > 0.0 {
+                        let col: Vec<f64> = r.iter().skip(j).step_by(k).copied().collect();
+                        crate::paranoid::check_conservation(
+                            "preconditioned_cg_block",
+                            &col,
+                            norm_b[j],
+                            tol,
+                        );
+                    }
+                }
+            }
             return Ok((x, stats));
         }
         precond.precondition_block_into(&r, &mut z, k, &mut ws);
@@ -782,6 +826,11 @@ pub(crate) fn preconditioned_cg_block<A: LinearOperator, M: Preconditioning>(
         for (ri, zi) in r.chunks_exact(k).zip(z.chunks_exact(k)) {
             for ((acc, rj), zj) in rz_new.iter_mut().zip(ri).zip(zi) {
                 *acc += rj * zj;
+            }
+        }
+        for j in 0..k {
+            if active[j] && (!rz_new[j].is_finite() || rz_new[j] <= 0.0) {
+                return Err((it + 1, stats[j].1));
             }
         }
         for (pi, zi) in p.chunks_exact_mut(k).zip(z.chunks_exact(k)) {

@@ -34,7 +34,7 @@
 
 use crate::mna::SolveOptions;
 use crate::sparse::{preconditioned_cg, preconditioned_cg_block, LinearOperator, Preconditioning};
-use crate::SolveError;
+use crate::{SolveError, SolveStats};
 
 /// Lateral size at (or below) which the hierarchy bottoms out into a
 /// dense Cholesky solve (`≤ 4·4·nz` unknowns).
@@ -151,7 +151,7 @@ impl StencilOperator {
                 thomas_inv[i] = 1.0 / pivot;
             }
         }
-        StencilOperator {
+        let op = StencilOperator {
             nx,
             ny,
             nz,
@@ -161,7 +161,18 @@ impl StencilOperator {
             leak,
             diag,
             thomas_inv,
-        }
+        };
+        // Assembly-time tripwire: the 7-point stencil must assemble to a
+        // symmetric positive-definite operator; a one-sided coupling
+        // update or sign slip trips the probe immediately instead of
+        // surfacing as a mysteriously stalled CG much later.
+        #[cfg(feature = "paranoid")]
+        crate::paranoid::spot_check_spd("assembled stencil operator", n, |v| {
+            let mut out = vec![0.0; v.len()];
+            op.apply_into(v, &mut out);
+            out
+        });
+        op
     }
 
     /// Builds an operator whose coefficients are uniform per z-layer —
@@ -1188,11 +1199,11 @@ impl FactorizedStencil {
     ///
     /// Panics if an injection names a cell outside the grid.
     pub fn solve_injections(&self, injections: &[(usize, f64)]) -> Result<Vec<f64>, SolveError> {
-        self.solve_injections_stats(injections).map(|(v, _, _)| v)
+        self.solve_injections_stats(injections).map(|(v, _)| v)
     }
 
     /// Like [`FactorizedStencil::solve_injections`], additionally
-    /// returning `(iterations, relative_residual)`.
+    /// returning the [`SolveStats`] of the re-solve.
     ///
     /// # Errors
     ///
@@ -1204,7 +1215,7 @@ impl FactorizedStencil {
     pub fn solve_injections_stats(
         &self,
         injections: &[(usize, f64)],
-    ) -> Result<(Vec<f64>, usize, f64), SolveError> {
+    ) -> Result<(Vec<f64>, SolveStats), SolveError> {
         let ng = self.sys.grid_cells();
         let mut rhs = self.static_rhs.clone();
         for &(cell, amps) in injections {
@@ -1220,7 +1231,11 @@ impl FactorizedStencil {
         )
         .map_err(stencil_cg_failure)?;
         x.truncate(ng);
-        Ok((x, iterations, residual))
+        let stats = SolveStats {
+            iterations,
+            relative_residual: residual,
+        };
+        Ok((x, stats))
     }
 
     /// Solves a batch of injection patterns as one blocked CG, mirroring
@@ -1454,8 +1469,12 @@ mod tests {
                 .step_by(5)
                 .map(|col| (col * nz + nz - 1, 1e-4 * (1.0 + (col % 7) as f64)))
                 .collect();
-            let (got, iterations, _) = f.solve_injections_stats(&injections).unwrap();
-            assert!(iterations > 0 && iterations < 60, "{iterations} iterations");
+            let (got, stats) = f.solve_injections_stats(&injections).unwrap();
+            assert!(
+                stats.iterations > 0 && stats.iterations < 60,
+                "{} iterations",
+                stats.iterations
+            );
             // Oracle: Jacobi-CG on the CSR expansion at tight tolerance.
             let mut rhs = f.static_rhs.clone();
             for &(cell, amps) in &injections {
@@ -1483,10 +1502,10 @@ mod tests {
             let sys = StencilSystem::layered(&spec(n, n));
             let nz = sys.operator().nz();
             let f = FactorizedStencil::new(sys, SolveOptions::default()).unwrap();
-            let (_, it, _) = f
+            let (_, stats) = f
                 .solve_injections_stats(&[(((n / 2) * n + n / 2) * nz + 1, 1e-3)])
                 .unwrap();
-            iters.push(it);
+            iters.push(stats.iterations);
         }
         let max = *iters.iter().max().unwrap();
         let min = *iters.iter().min().unwrap().max(&1);

@@ -42,4 +42,5 @@ pub use delta::{ColumnStats, DeltaEvaluation, DeltaThermalModel};
 pub use map::ThermalMap;
 pub use model::FactorizedThermalModel;
 pub use sim::{GridSpec, SolverKind, ThermalConfig, ThermalError, ThermalSimulator};
+pub use spicenet::SolveStats;
 pub use stack::{Layer, LayerStack};

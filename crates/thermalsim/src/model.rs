@@ -25,7 +25,7 @@
 //!   property tests pin the structured path against (≤ 1e-6 K).
 
 use geom::{Grid2d, Rect};
-use spicenet::{FactorizedCircuit, FactorizedStencil, NodeId, SolveOptions};
+use spicenet::{FactorizedCircuit, FactorizedStencil, NodeId, SolveOptions, SolveStats};
 
 use crate::network::{build_geometry, validate_power, EmitSystem};
 use crate::{GridSpec, SolverKind, ThermalConfig, ThermalError, ThermalMap};
@@ -183,12 +183,12 @@ impl FactorizedThermalModel {
     /// [`ThermalError::InvalidPower`] for a bad power map and
     /// [`ThermalError::Solve`] if the re-solve fails.
     pub fn solve(&self, power: &Grid2d<f64>) -> Result<ThermalMap, ThermalError> {
-        self.solve_with_stats(power).map(|(map, _, _)| map)
+        self.solve_with_stats(power).map(|(map, _)| map)
     }
 
     /// Like [`FactorizedThermalModel::solve`], additionally returning
-    /// `(iterations, relative_residual)` of the re-solve — the
-    /// diagnostics behind the bench pipeline's solver-scaling section.
+    /// the [`SolveStats`] of the re-solve — the diagnostics behind the
+    /// bench pipeline's solver-scaling section.
     ///
     /// # Errors
     ///
@@ -196,11 +196,11 @@ impl FactorizedThermalModel {
     pub fn solve_with_stats(
         &self,
         power: &Grid2d<f64>,
-    ) -> Result<(ThermalMap, usize, f64), ThermalError> {
+    ) -> Result<(ThermalMap, SolveStats), ThermalError> {
         let GridSpec { nx, ny } = self.config.grid;
         validate_power(nx, ny, power)?;
         let mut grid = Grid2d::new(nx, ny, self.die, 0.0);
-        let (iterations, residual) = match &self.backend {
+        let stats = match &self.backend {
             Backend::Stencil(f) => {
                 let mut injections = Vec::with_capacity(nx * ny);
                 for iy in 0..ny {
@@ -211,7 +211,7 @@ impl FactorizedThermalModel {
                         }
                     }
                 }
-                let (temps, iterations, residual) = f
+                let (temps, stats) = f
                     .solve_injections_stats(&injections)
                     .map_err(ThermalError::Solve)?;
                 for iy in 0..ny {
@@ -219,7 +219,7 @@ impl FactorizedThermalModel {
                         *grid.get_mut(ix, iy) = temps[self.grid_cell(iy * nx + ix)];
                     }
                 }
-                (iterations, residual)
+                stats
             }
             Backend::Csr(f) => {
                 let mut injections = Vec::with_capacity(nx * ny);
@@ -231,7 +231,7 @@ impl FactorizedThermalModel {
                         }
                     }
                 }
-                let (volts, iterations, residual) = f
+                let (volts, stats) = f
                     .solve_injections_stats(&injections)
                     .map_err(ThermalError::Solve)?;
                 for iy in 0..ny {
@@ -239,14 +239,39 @@ impl FactorizedThermalModel {
                         *grid.get_mut(ix, iy) = volts[self.active_nodes[iy * nx + ix].index()];
                     }
                 }
-                (iterations, residual)
+                stats
             }
         };
-        Ok((
-            ThermalMap::new(grid, self.config.stack.ambient_c),
-            iterations,
-            residual,
-        ))
+        #[cfg(feature = "paranoid")]
+        Self::check_rise_field(
+            "solved temperature field",
+            grid.values(),
+            self.config.tolerance,
+        );
+        Ok((ThermalMap::new(grid, self.config.stack.ambient_c), stats))
+    }
+
+    /// Paranoid-mode invariants on a solved rise field: every entry is
+    /// finite, and — by the discrete maximum principle (the thermal
+    /// operator is an M-matrix and injections are non-negative) — no
+    /// cell cools below ambient beyond solver-tolerance noise.
+    ///
+    /// # Panics
+    ///
+    /// When an entry is non-finite or more negative than the
+    /// tolerance-scaled bound.
+    #[cfg(feature = "paranoid")]
+    fn check_rise_field(what: &str, rises: &[f64], tolerance: f64) {
+        spicenet::paranoid::check_finite(what, rises);
+        let peak = rises.iter().fold(0.0f64, |m, &v| m.max(v));
+        let bound = 10.0 * tolerance * peak.max(1.0);
+        for (i, &v) in rises.iter().enumerate() {
+            assert!(
+                v >= -bound,
+                "paranoid: {what} violates the maximum principle: \
+                 rise {v} at index {i} is below ambient beyond {bound}"
+            );
+        }
     }
 
     /// Materializes influence columns for active-layer bins (`iy·nx + ix`
@@ -269,37 +294,41 @@ impl FactorizedThermalModel {
         tolerance: f64,
         seeds: &[Option<&[f64]>],
     ) -> Result<Vec<InfluenceColumn>, ThermalError> {
-        match &self.backend {
+        let columns: Vec<InfluenceColumn> = match &self.backend {
             Backend::Stencil(f) => {
                 let GridSpec { nx, ny } = self.config.grid;
                 let cells: Vec<usize> = bins.iter().map(|&b| self.grid_cell(b)).collect();
-                let columns = f
-                    .influence_columns_seeded(&cells, tolerance, seeds)
-                    .map_err(ThermalError::Solve)?;
-                Ok(columns
+                f.influence_columns_seeded(&cells, tolerance, seeds)
+                    .map_err(ThermalError::Solve)?
                     .into_iter()
                     .map(|(full, iterations)| InfluenceColumn {
                         active: (0..nx * ny).map(|bin| full[self.grid_cell(bin)]).collect(),
                         full,
                         iterations,
                     })
-                    .collect())
+                    .collect()
             }
             Backend::Csr(f) => {
                 let nodes: Vec<NodeId> = bins.iter().map(|&b| self.active_nodes[b]).collect();
-                let columns = f
-                    .influence_columns_seeded(&nodes, tolerance, seeds)
-                    .map_err(ThermalError::Solve)?;
-                Ok(columns
+                f.influence_columns_seeded(&nodes, tolerance, seeds)
+                    .map_err(ThermalError::Solve)?
                     .into_iter()
                     .map(|(full, iterations)| InfluenceColumn {
                         active: self.active_nodes.iter().map(|n| full[n.index()]).collect(),
                         full,
                         iterations,
                     })
-                    .collect())
+                    .collect()
             }
+        };
+        // Influence columns are unit-injection responses, so they obey
+        // the same finiteness / maximum-principle invariants as a full
+        // solve.
+        #[cfg(feature = "paranoid")]
+        for column in &columns {
+            Self::check_rise_field("influence column", &column.full, tolerance);
         }
+        Ok(columns)
     }
 
     /// Laterally translates a solver-space column by `(dx, dy)` thermal
@@ -468,12 +497,14 @@ mod iter_probe {
                 let mut power = geom::Grid2d::new(n, n, die, 1e-6);
                 *power.get_mut(n / 2, n / 2) = 2e-3;
                 let solve = std::time::Instant::now();
-                let (_, iters, res) = model.solve_with_stats(&power).unwrap();
+                let (_, stats) = model.solve_with_stats(&power).unwrap();
                 let solve_ms = solve.elapsed().as_secs_f64() * 1e3;
                 println!(
                     "{n}x{n}x9 [{}]: build {build_ms:.1} ms, solve {solve_ms:.2} ms, \
-                     {iters} iterations, residual {res:.2e}, unknowns {}",
+                     {} iterations, residual {:.2e}, unknowns {}",
                     model.solver_name(),
+                    stats.iterations,
+                    stats.relative_residual,
                     model.unknowns()
                 );
             }

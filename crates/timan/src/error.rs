@@ -1,0 +1,44 @@
+use netlist::{CellId, NetlistError};
+
+/// Errors raised by static timing analysis.
+#[derive(Debug)]
+pub enum TimingError {
+    /// The netlist failed validation — typically a combinational cycle,
+    /// which has no topological order to propagate arrivals along.
+    Netlist(NetlistError),
+    /// A cell has no placement, so wire lengths and local temperatures
+    /// are undefined.
+    UnplacedCell {
+        /// The offending cell.
+        cell: CellId,
+    },
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::Netlist(e) => write!(f, "netlist: {e}"),
+            TimingError::UnplacedCell { cell } => {
+                write!(
+                    f,
+                    "timing requires a fully placed design: cell {cell:?} is unplaced"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TimingError::Netlist(e) => Some(e),
+            TimingError::UnplacedCell { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for TimingError {
+    fn from(e: NetlistError) -> Self {
+        TimingError::Netlist(e)
+    }
+}

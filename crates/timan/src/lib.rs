@@ -25,16 +25,18 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let nl = build_benchmark(&BenchmarkConfig::small())?;
 //! let placed = Placer::new(PlacerConfig::default()).place(&nl)?;
-//! let report = analyze(&nl, &placed.floorplan, &placed.placement, None, &TimingConfig::default());
+//! let report = analyze(&nl, &placed.floorplan, &placed.placement, None, &TimingConfig::default())?;
 //! assert!(report.critical_path_ps > 0.0);
 //! # Ok(())
 //! # }
 //! ```
 
 mod config;
+mod error;
 mod report;
 mod sta;
 
 pub use config::TimingConfig;
+pub use error::TimingError;
 pub use report::TimingReport;
 pub use sta::analyze;

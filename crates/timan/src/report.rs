@@ -1,6 +1,7 @@
 use netlist::CellId;
 
 /// The result of a timing analysis.
+#[must_use = "a TimingReport is the entire output of a timing analysis"]
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimingReport {
     /// Longest register-to-register (or port-to-register) path delay, ps.

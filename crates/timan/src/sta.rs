@@ -2,7 +2,7 @@ use netlist::{topo_order, CellId, NetDriver, Netlist};
 use placement::{Floorplan, Placement};
 use thermalsim::ThermalMap;
 
-use crate::{TimingConfig, TimingReport};
+use crate::{TimingConfig, TimingError, TimingReport};
 
 /// Runs static timing analysis.
 ///
@@ -12,32 +12,34 @@ use crate::{TimingConfig, TimingReport};
 /// every cell and wire delay is derated at the driving cell's local
 /// temperature.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the netlist contains combinational cycles (impossible for
-/// validated netlists) or any cell is unplaced.
+/// Returns [`TimingError::Netlist`] if the netlist contains
+/// combinational cycles (impossible for validated netlists) and
+/// [`TimingError::UnplacedCell`] if any cell is unplaced.
 pub fn analyze(
     netlist: &Netlist,
     floorplan: &Floorplan,
     placement: &Placement,
     temps: Option<&ThermalMap>,
     config: &TimingConfig,
-) -> TimingReport {
+) -> Result<TimingReport, TimingError> {
     let lib = netlist.library();
-    let order = topo_order(netlist).expect("validated netlist");
-    let cell_temp = |cell: CellId| -> f64 {
-        match temps {
-            None => config.reference_temp_c,
-            Some(map) => {
-                let c = placement
-                    .cell_center(netlist, floorplan, cell)
-                    .expect("timing requires a fully placed design");
-                match map.grid().bin_of(c.x, c.y) {
-                    Some((ix, iy)) => *map.grid().get(ix, iy),
-                    None => map.ambient_c(),
-                }
-            }
-        }
+    let order = topo_order(netlist)?;
+    let center = |cell: CellId| {
+        placement
+            .cell_center(netlist, floorplan, cell)
+            .ok_or(TimingError::UnplacedCell { cell })
+    };
+    let cell_temp = |cell: CellId| -> Result<f64, TimingError> {
+        let Some(map) = temps else {
+            return Ok(config.reference_temp_c);
+        };
+        let c = center(cell)?;
+        Ok(match map.grid().bin_of(c.x, c.y) {
+            Some((ix, iy)) => *map.grid().get(ix, iy),
+            None => map.ambient_c(),
+        })
     };
 
     // Arrival time at each net (at the driver output) and the driving
@@ -51,7 +53,7 @@ pub fn analyze(
         let def = lib.cell(cell.master());
         if def.function().is_sequential() {
             is_seq[id.index()] = true;
-            let t = cell_temp(id);
+            let t = cell_temp(id)?;
             let q_net = netlist.pin(cell.output_pins()[0]).net();
             arrival[q_net.index()] = def.intrinsic_delay_ps() * config.cell_derate(t);
             from_cell[q_net.index()] = Some(id);
@@ -63,10 +65,8 @@ pub fn analyze(
     for &cell_id in &order {
         let cell = netlist.cell(cell_id);
         let def = lib.cell(cell.master());
-        let t = cell_temp(cell_id);
-        let my_center = placement
-            .cell_center(netlist, floorplan, cell_id)
-            .expect("timing requires a fully placed design");
+        let t = cell_temp(cell_id)?;
+        let my_center = center(cell_id)?;
         // Worst input arrival, including the wire from each fan-in driver.
         let mut worst_in = 0.0f64;
         let mut worst_pred = None;
@@ -76,14 +76,12 @@ pub fn analyze(
             let wire = match netlist.net(net).driver() {
                 NetDriver::Pin(dpin) => {
                     let driver = netlist.pin(dpin).cell();
-                    let dcenter = placement
-                        .cell_center(netlist, floorplan, driver)
-                        .expect("placed");
+                    let dcenter = center(driver)?;
                     let dist = dcenter.manhattan_to(my_center);
                     let r_wire = dist * config.wire_res_ohm_per_um / 1000.0; // kΩ
                     let c_wire = dist * config.wire_cap_ff_per_um;
                     let c_sink = def.input_cap_ff();
-                    (r_wire * (c_wire / 2.0 + c_sink)) * config.wire_derate(cell_temp(driver))
+                    (r_wire * (c_wire / 2.0 + c_sink)) * config.wire_derate(cell_temp(driver)?)
                 }
                 _ => 0.0,
             };
@@ -152,11 +150,11 @@ pub fn analyze(
     }
     critical_cells.reverse();
 
-    TimingReport {
+    Ok(TimingReport {
         critical_path_ps: critical,
         slack_ps: config.clock_period_ps - critical,
         critical_cells,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -198,6 +196,7 @@ mod tests {
                 None,
                 &TimingConfig::default(),
             )
+            .unwrap()
             .critical_path_ps
         };
         let d4 = build_chain(4);
@@ -219,6 +218,7 @@ mod tests {
                 None,
                 &TimingConfig::default(),
             )
+            .unwrap()
             .critical_path_ps
         };
         let d8 = delay(8);
@@ -235,7 +235,8 @@ mod tests {
             &placed.placement,
             None,
             &TimingConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(!report.critical_cells.is_empty());
         // Path starts at a launch flop (or a port-fed cell).
         let first = report.critical_cells[0];
@@ -252,7 +253,7 @@ mod tests {
         use geom::Grid2d;
         let (nl, placed) = place_small();
         let cfg = TimingConfig::default();
-        let cold = analyze(&nl, &placed.floorplan, &placed.placement, None, &cfg);
+        let cold = analyze(&nl, &placed.floorplan, &placed.placement, None, &cfg).unwrap();
         let mut g = Grid2d::new(8, 8, placed.floorplan.core(), 50.0);
         g.values_mut().iter_mut().for_each(|v| *v = 50.0);
         let hot_map = ThermalMap::new(g, 25.0);
@@ -262,7 +263,8 @@ mod tests {
             &placed.placement,
             Some(&hot_map),
             &cfg,
-        );
+        )
+        .unwrap();
         let overhead = cold.overhead_to(&hot);
         // +25 K → cells ≥ +10%, wires +12.5%; expect ≥ 9% overall.
         assert!(
@@ -281,8 +283,8 @@ mod tests {
             .place(&nl)
             .unwrap();
         let cfg = TimingConfig::default();
-        let dt = analyze(&nl, &tight.floorplan, &tight.placement, None, &cfg);
-        let dl = analyze(&nl, &loose.floorplan, &loose.placement, None, &cfg);
+        let dt = analyze(&nl, &tight.floorplan, &tight.placement, None, &cfg).unwrap();
+        let dl = analyze(&nl, &loose.floorplan, &loose.placement, None, &cfg).unwrap();
         assert!(
             dl.critical_path_ps > dt.critical_path_ps,
             "loose {} vs tight {}",

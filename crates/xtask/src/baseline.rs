@@ -1,0 +1,156 @@
+//! The ratchet baseline: per-file, per-rule violation counts that may
+//! only decrease. New code must be clean; legacy debt is absorbed here
+//! and paid down over time. The `seed` section freezes the library
+//! panic-site counts measured when the linter first landed, so later
+//! reductions can be stated against a fixed reference.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Library `no-panic` site count per crate at the time the linter
+    /// was introduced (before any cleanup). Immutable once recorded.
+    pub seed: BTreeMap<String, usize>,
+    /// file → rule → allowed count.
+    pub files: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl Baseline {
+    pub fn allowance(&self, file: &str, rule: &str) -> usize {
+        self.files
+            .get(file)
+            .and_then(|rules| rules.get(rule))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let root = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        match root.get("schema").and_then(Json::as_usize) {
+            Some(1) => {}
+            other => return Err(format!("unsupported baseline schema {other:?}")),
+        }
+        let mut seed = BTreeMap::new();
+        if let Some(entries) = root
+            .get("seed")
+            .and_then(|s| s.get("no-panic"))
+            .and_then(Json::as_obj)
+        {
+            for (krate, count) in entries {
+                let n = count
+                    .as_usize()
+                    .ok_or_else(|| format!("seed count for `{krate}` is not a count"))?;
+                seed.insert(krate.clone(), n);
+            }
+        }
+        let mut files = BTreeMap::new();
+        let file_entries = root
+            .get("files")
+            .and_then(Json::as_obj)
+            .ok_or("baseline is missing the `files` object")?;
+        for (path, rules) in file_entries {
+            let rule_entries = rules
+                .as_obj()
+                .ok_or_else(|| format!("baseline entry for `{path}` is not an object"))?;
+            let mut per_rule = BTreeMap::new();
+            for (rule, count) in rule_entries {
+                let n = count.as_usize().ok_or_else(|| {
+                    format!("baseline count for `{path}`/`{rule}` is not a count")
+                })?;
+                per_rule.insert(rule.clone(), n);
+            }
+            files.insert(path.clone(), per_rule);
+        }
+        Ok(Baseline { seed, files })
+    }
+
+    pub fn render(&self) -> String {
+        let seed_obj = Json::Obj(vec![(
+            "no-panic".to_string(),
+            Json::Obj(
+                self.seed
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        )]);
+        let files_obj = Json::Obj(
+            self.files
+                .iter()
+                .filter(|(_, rules)| rules.values().any(|&n| n > 0))
+                .map(|(path, rules)| {
+                    (
+                        path.clone(),
+                        Json::Obj(
+                            rules
+                                .iter()
+                                .filter(|(_, &n)| n > 0)
+                                .map(|(rule, &n)| (rule.clone(), Json::Num(n as f64)))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        let root = Json::Obj(vec![
+            ("schema".to_string(), Json::Num(1.0)),
+            ("tool".to_string(), Json::Str("xtask lint".to_string())),
+            (
+                "comment".to_string(),
+                Json::Str(
+                    "Per-file lint ratchet: counts may only decrease. Regenerate with \
+                     `cargo run -p xtask -- lint --update-baseline`."
+                        .to_string(),
+                ),
+            ),
+            ("seed".to_string(), seed_obj),
+            ("files".to_string(), files_obj),
+        ]);
+        let mut text = root.render();
+        text.push('\n');
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut b = Baseline::default();
+        b.seed.insert("core".to_string(), 20);
+        b.files
+            .entry("crates/core/src/sweep.rs".to_string())
+            .or_default()
+            .insert("no-panic".to_string(), 12);
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(again.seed.get("core"), Some(&20));
+        assert_eq!(again.allowance("crates/core/src/sweep.rs", "no-panic"), 12);
+        assert_eq!(again.allowance("crates/core/src/sweep.rs", "float-eq"), 0);
+        assert_eq!(again.allowance("other.rs", "no-panic"), 0);
+    }
+
+    #[test]
+    fn zero_count_entries_are_dropped_on_render() {
+        let mut b = Baseline::default();
+        b.files
+            .entry("a.rs".to_string())
+            .or_default()
+            .insert("no-panic".to_string(), 0);
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert!(again.files.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"schema\": 2, \"files\": {}}").is_err());
+        assert!(Baseline::parse("{\"schema\": 1}").is_err());
+        assert!(
+            Baseline::parse("{\"schema\": 1, \"files\": {\"a.rs\": {\"no-panic\": -3}}}").is_err()
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! Minimal JSON reader/writer for the ratchet baseline file. Objects
+//! preserve insertion order so renders are deterministic and diffs stay
+//! readable.
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if n.is_finite() && *n >= 0.0 && n.trunc() == *n => Some(*n as usize),
+            _ => None,
+        }
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() && n.trunc() == *n && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_newline_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                push_newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_newline_indent(out, indent + 1);
+                    render_string(k, out);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                push_newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(format!("trailing content at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn push_newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_char(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!(
+                "expected `{want}` at offset {}, found {other:?}",
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for want in word.chars() {
+            self.expect_char(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_char('{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_char(':')?;
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Obj(entries)),
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect_char('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Arr(items)),
+                other => return Err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_char('"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('b') => s.push('\u{8}'),
+                    Some('f') => s.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some('.') {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_baseline_shape() {
+        let text = "{\"schema\": 1, \"files\": {\"a/b.rs\": {\"no-panic\": 3}}, \"list\": [1, 2.5, true, null, \"s\"]}";
+        let v = Json::parse(text).unwrap();
+        assert_eq!(
+            v.get("files")
+                .and_then(|f| f.get("a/b.rs"))
+                .and_then(|f| f.get("no-panic"))
+                .and_then(Json::as_usize),
+            Some(3)
+        );
+        let again = Json::parse(&v.render()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "{\"a\" 1}", "[1,]", "nul", "\"unterminated", "{}x"] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Json::Str("a\"b\\c\nd\te".to_string());
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+}

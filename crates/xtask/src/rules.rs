@@ -1,0 +1,410 @@
+//! The rule engine: walks the token stream of one source file and
+//! reports violations of the repo invariants.
+//!
+//! Rules:
+//! - `no-panic` — no `.unwrap()` / `.expect(…)` / `panic!` / `todo!` /
+//!   `unimplemented!` / `dbg!` in library code.
+//! - `float-eq` — no `==` / `!=` directly against a float literal.
+//! - `unsafe-code` — `unsafe` only in files on an explicit allowlist.
+//! - `waiver-syntax` — `// lint:` comments must be well-formed waivers.
+//!
+//! Exemptions: files under `tests/`, `examples/`, `benches/` are skipped
+//! entirely by the driver; `#[cfg(test)]` / `#[test]` items inside
+//! library files are masked out here. Individual sites are waived with
+//!
+//! ```text
+//! // lint: allow(no-panic, reason = "grid ids are validated at construction")
+//! ```
+//!
+//! placed on the offending line or the line directly above it. The
+//! reason is mandatory and must be non-empty: every surviving panic site
+//! carries a documented invariant.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+pub const RULE_NO_PANIC: &str = "no-panic";
+pub const RULE_FLOAT_EQ: &str = "float-eq";
+pub const RULE_UNSAFE: &str = "unsafe-code";
+pub const RULE_WAIVER: &str = "waiver-syntax";
+
+pub const ALL_RULES: [&str; 4] = [RULE_NO_PANIC, RULE_FLOAT_EQ, RULE_UNSAFE, RULE_WAIVER];
+
+/// Workspace-relative paths (with `/` separators) where `unsafe` blocks
+/// are permitted. Deliberately empty: the workspace also carries
+/// `#![forbid]`-grade `unsafe_code = "deny"`, and any future exception
+/// must land here with a review, not ad hoc.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Outcome of linting one file.
+pub struct FileReport {
+    /// Violations that survive waivers and test-code masking.
+    pub violations: Vec<Violation>,
+    /// Sites that matched a rule but were covered by a valid waiver.
+    pub waived: usize,
+}
+
+/// Lints one library source file. `rel_path` is workspace-relative with
+/// `/` separators (used for the unsafe allowlist).
+pub fn check_file(rel_path: &str, src: &str) -> FileReport {
+    let out = lex(src);
+    let (waivers, mut violations) = parse_waivers(&out.comments);
+    let mask = test_exempt_mask(&out.tokens);
+    let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel_path);
+    let raw = scan_tokens(&out.tokens, &mask, unsafe_allowed);
+
+    let mut waived = 0usize;
+    for v in raw {
+        let is_waived = waivers
+            .iter()
+            .any(|w| w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line));
+        if is_waived {
+            waived += 1;
+        } else {
+            violations.push(v);
+        }
+    }
+    violations.sort_by_key(|v| (v.line, v.rule));
+    FileReport { violations, waived }
+}
+
+struct Waiver {
+    line: u32,
+    rule: String,
+}
+
+/// Extracts `lint: allow(<rule>, reason = "…")` waivers from comments.
+/// A comment that starts with `lint:` but does not parse is itself a
+/// violation — silent typos must not mint accidental permissions.
+fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<Violation>) {
+    let mut waivers = Vec::new();
+    let mut violations = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("lint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok(rule) => waivers.push(Waiver { line: c.line, rule }),
+            Err(why) => violations.push(Violation {
+                rule: RULE_WAIVER,
+                line: c.line,
+                message: why,
+            }),
+        }
+    }
+    (waivers, violations)
+}
+
+fn parse_allow(s: &str) -> Result<String, String> {
+    const SHAPE: &str = "expected `lint: allow(<rule>, reason = \"…\")`";
+    let body = s
+        .strip_prefix("allow(")
+        .and_then(|b| b.strip_suffix(')'))
+        .ok_or_else(|| SHAPE.to_string())?;
+    let (rule, reason_part) = body
+        .split_once(',')
+        .ok_or_else(|| format!("waiver is missing a `reason` clause; {SHAPE}"))?;
+    let rule = rule.trim();
+    if !ALL_RULES.contains(&rule) {
+        return Err(format!(
+            "unknown rule `{rule}` in waiver (known: {})",
+            ALL_RULES.join(", ")
+        ));
+    }
+    let reason = reason_part
+        .trim()
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("malformed `reason` clause; {SHAPE}"))?;
+    if reason.trim().is_empty() {
+        return Err("waiver reason must not be empty".to_string());
+    }
+    Ok(rule.to_string())
+}
+
+/// Marks tokens that belong to `#[cfg(test)]` / `#[test]` items so the
+/// panic rules skip test code embedded in library files. An attribute
+/// counts as a test gate when it mentions the bare ident `test` without
+/// a `not(…)` (so `#[cfg(not(test))]` stays linted).
+fn test_exempt_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let inner = tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let open = if inner { i + 2 } else { i + 1 };
+        if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(tokens, open, '[', ']') else {
+            break;
+        };
+        let body = &tokens[open + 1..close];
+        let gates_test =
+            body.iter().any(|t| t.is_ident("test")) && !body.iter().any(|t| t.is_ident("not"));
+        if !gates_test {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]` applies to the enclosing scope; from a
+            // file-level linter's view that is the rest of the file.
+            for m in mask.iter_mut().skip(i) {
+                *m = true;
+            }
+            return mask;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = close + 1;
+        while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match matching(tokens, j + 1, '[', ']') {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        let end = item_end(tokens, j);
+        let stop = end.min(tokens.len().saturating_sub(1));
+        for m in mask.iter_mut().take(stop + 1).skip(i) {
+            *m = true;
+        }
+        i = stop + 1;
+    }
+    mask
+}
+
+/// Index of the delimiter matching `tokens[open]`.
+fn matching(tokens: &[Token], open: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the last token of the item starting at `start`: either a
+/// `;` at top level or the `}` closing the item's body.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    let mut k = start;
+    while k < tokens.len() {
+        match &tokens[k].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren = paren.saturating_sub(1),
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket = bracket.saturating_sub(1),
+            TokenKind::Punct(';') if paren == 0 && bracket == 0 => return k,
+            TokenKind::Punct('{') if paren == 0 && bracket == 0 => {
+                return matching(tokens, k, '{', '}').unwrap_or(tokens.len() - 1);
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "dbg"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+fn scan_tokens(tokens: &[Token], mask: &[bool], unsafe_allowed: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Ident { name, raw: false } => {
+                let name = name.as_str();
+                let next_is = |c: char| tokens.get(i + 1).is_some_and(|t| t.is_punct(c));
+                if PANIC_METHODS.contains(&name)
+                    && i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && next_is('(')
+                {
+                    out.push(Violation {
+                        rule: RULE_NO_PANIC,
+                        line: t.line,
+                        message: format!(
+                            ".{name}() in library code; return a typed error or add a waiver"
+                        ),
+                    });
+                } else if PANIC_MACROS.contains(&name) && next_is('!') {
+                    out.push(Violation {
+                        rule: RULE_NO_PANIC,
+                        line: t.line,
+                        message: format!(
+                            "{name}! in library code; return a typed error or add a waiver"
+                        ),
+                    });
+                } else if name == "unsafe" && !unsafe_allowed {
+                    out.push(Violation {
+                        rule: RULE_UNSAFE,
+                        line: t.line,
+                        message: "unsafe code outside the allowlist".to_string(),
+                    });
+                }
+            }
+            TokenKind::EqEq | TokenKind::Ne => {
+                let prev_float = i > 0 && tokens[i - 1].kind == TokenKind::Float;
+                let next_float = tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Float);
+                if prev_float || next_float {
+                    out.push(Violation {
+                        rule: RULE_FLOAT_EQ,
+                        line: t.line,
+                        message: "exact equality against a float literal; compare with a tolerance"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<(&'static str, u32)> {
+        check_file("crates/x/src/lib.rs", src)
+            .violations
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn flags_panic_sites() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"msg\");\n    panic!(\"boom\");\n    todo!();\n    unimplemented!();\n    dbg!(z);\n}\n";
+        let v = violations(src);
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|(r, _)| *r == RULE_NO_PANIC));
+        assert_eq!(v[0].1, 2);
+    }
+
+    #[test]
+    fn ignores_lookalikes() {
+        // unwrap_or, a field named expect, should_panic, std::panic path.
+        let src = "fn f() {\n    x.unwrap_or(0);\n    x.unwrap_or_else(|| 0);\n    let y = s.expect;\n    std::panic::catch_unwind(f);\n}\n#[should_panic(expected = \"x\")]\nfn t() {}\n";
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn flags_float_eq_only_against_literals() {
+        assert_eq!(
+            violations("fn f() { if x == 0.0 {} }"),
+            vec![(RULE_FLOAT_EQ, 1)]
+        );
+        assert_eq!(
+            violations("fn f() { if 1e-6 != y {} }"),
+            vec![(RULE_FLOAT_EQ, 1)]
+        );
+        assert!(violations("fn f() { if x == y {} }").is_empty());
+        assert!(violations("fn f() { if x == 0 {} }").is_empty());
+        assert!(violations("fn f() { if x <= 0.0 {} }").is_empty());
+    }
+
+    #[test]
+    fn flags_unsafe_and_respects_raw_idents() {
+        assert_eq!(violations("unsafe fn f() {}"), vec![(RULE_UNSAFE, 1)]);
+        assert!(violations("fn f(r#unsafe: u8) {}").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(); }\n}\nfn lib2() { y.unwrap(); }\n";
+        assert_eq!(violations(src), vec![(RULE_NO_PANIC, 6)]);
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn test_attribute_exempts_single_fn() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib() { y.unwrap(); }\n";
+        assert_eq!(violations(src), vec![(RULE_NO_PANIC, 3)]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_linted() {
+        let src = "#[cfg(not(test))]\nfn lib() { x.unwrap(); }\n";
+        assert_eq!(violations(src), vec![(RULE_NO_PANIC, 2)]);
+    }
+
+    #[test]
+    fn waiver_on_previous_line_covers_site() {
+        let src = "fn f() {\n    // lint: allow(no-panic, reason = \"checked above\")\n    x.unwrap();\n}\n";
+        let rep = check_file("crates/x/src/lib.rs", src);
+        assert!(rep.violations.is_empty());
+        assert_eq!(rep.waived, 1);
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let src = "fn f() {\n    x.unwrap(); // lint: allow(no-panic, reason = \"checked\")\n}\n";
+        let rep = check_file("crates/x/src/lib.rs", src);
+        assert!(rep.violations.is_empty());
+        assert_eq!(rep.waived, 1);
+    }
+
+    #[test]
+    fn waiver_does_not_leak_to_later_lines() {
+        let src = "fn f() {\n    // lint: allow(no-panic, reason = \"only the next line\")\n    x.unwrap();\n    y.unwrap();\n}\n";
+        assert_eq!(violations(src), vec![(RULE_NO_PANIC, 4)]);
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_apply() {
+        let src =
+            "fn f() {\n    // lint: allow(float-eq, reason = \"mismatched\")\n    x.unwrap();\n}\n";
+        assert_eq!(violations(src), vec![(RULE_NO_PANIC, 3)]);
+    }
+
+    #[test]
+    fn malformed_waivers_are_violations() {
+        for src in [
+            "// lint: allow(no-panic)\n",
+            "// lint: allow(no-panic, reason = \"\")\n",
+            "// lint: allow(bogus-rule, reason = \"x\")\n",
+            "// lint: permit(no-panic, reason = \"x\")\n",
+        ] {
+            assert_eq!(violations(src), vec![(RULE_WAIVER, 1)], "src: {src}");
+        }
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "fn f() -> &'static str {\n    // panic! in a comment\n    \"say panic!(x.unwrap())\"\n}\n";
+        assert!(violations(src).is_empty());
+    }
+}

@@ -34,6 +34,15 @@
 //! exact verifications at ≤ 25 % of screened candidates. Records also
 //! carry the applied transform's stable id.
 //!
+//! Schema version 5 adds the `service` section — the optimization
+//! service (job queue + worker pool + keyed result cache) answering a
+//! mixed batch of typed requests cold and then warm from cache, with
+//! warm answers verified bit-identical to their cold solves. CI gates
+//! the warm-over-cold per-request ratio (≥ 3×) and forbids warm passes
+//! from falling back to cold solves. The engine legs of the bench now
+//! run through the typed request API (`SweepGrid::requests` +
+//! `run_requests`) instead of the deprecated `run_sweep` facade.
+//!
 //! ```sh
 //! cargo bench -p coolplace-bench --bench sweep -- \
 //!     --smoke --threads 2 --out BENCH_sweep.json --check ci/bench-baseline.json
@@ -54,10 +63,12 @@ use std::time::Instant;
 use arithgen::UnitRole;
 use coolplace_bench::gate::{check_against_baseline, MAX_SPEEDUP_REGRESSION, PEAK_TOLERANCE_C};
 use coolplace_bench::json::Json;
+use coolserved::wire::response_to_json;
+use coolserved::{serve, JobRecord, ResultSource, ServiceConfig, ServiceHandle};
 use geom::{Grid2d, Rect};
 use postplace::{
-    default_threads, pareto_frontier, run_sweep, Flow, FlowConfig, FlowError, FlowReport,
-    OptimizeConfig, Strategy, SweepGrid, TransformRegistry, WorkloadSpec,
+    default_threads, run_requests, Flow, FlowConfig, FlowError, FlowReport, OptimizeConfig,
+    OptimizeRequest, Scenario, Strategy, SweepGrid, TransformRegistry, WorkloadSpec,
 };
 use thermalsim::{DeltaThermalModel, FactorizedThermalModel, SolverKind, ThermalConfig};
 
@@ -70,7 +81,10 @@ use thermalsim::{DeltaThermalModel, FactorizedThermalModel, SolverKind, ThermalC
 /// v4: added the `optimizer` section (strategy-engine Pareto frontier
 /// with screened/exact spend accounting) and the `transform` id on
 /// records.
-const SCHEMA_VERSION: f64 = 4.0;
+/// v5: added the `service` section (optimization-service cold vs warm
+/// batch latency with bit-identity verification); the engine legs moved
+/// from the deprecated `run_sweep` facade to the typed request API.
+const SCHEMA_VERSION: f64 = 5.0;
 
 /// In-run agreement required between the sequential reference and the
 /// engine, in kelvin — pure solver noise, no physics.
@@ -232,6 +246,56 @@ fn run_sequential(grid: &SweepGrid) -> Result<(Vec<FlowReport>, f64), FlowError>
         reports.push(report);
     }
     Ok((reports, started.elapsed().as_secs_f64() * 1e3))
+}
+
+/// One engine-evaluated scenario: the grid cell, its flow report and its
+/// wall-clock cost, recovered from the typed batch response.
+struct EngineResult {
+    scenario: Scenario,
+    report: FlowReport,
+    wall_ms: f64,
+}
+
+/// One engine leg of the bench, through the typed request API.
+struct EngineRun {
+    results: Vec<EngineResult>,
+    threads: usize,
+    flows_built: usize,
+    wall_ms: f64,
+}
+
+/// Runs a grid through the engine the way an external client does since
+/// the `run_sweep` facade was deprecated: expand the grid into typed
+/// [`OptimizeRequest`]s, dispatch the batch via [`run_requests`], and
+/// zip the responses back onto their scenarios (both sides share the
+/// grid's expansion order).
+fn run_engine(grid: &SweepGrid, threads: usize) -> Result<EngineRun, String> {
+    let requests = grid.requests().map_err(|e| e.to_string())?;
+    let batch = run_requests(&grid.base, &requests, threads).map_err(|e| e.to_string())?;
+    let results =
+        grid.scenarios()
+            .into_iter()
+            .zip(batch.outcomes)
+            .map(|(scenario, outcome)| {
+                // Every grid scenario is a single-report goal (strategy or
+                // transform), so a report-less response is a wiring bug.
+                let report =
+                    outcome.response.report().cloned().ok_or_else(|| {
+                        format!("scenario `{}` returned no report", scenario.label())
+                    })?;
+                Ok(EngineResult {
+                    scenario,
+                    report,
+                    wall_ms: outcome.wall_ms,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+    Ok(EngineRun {
+        results,
+        threads: batch.threads,
+        flows_built: batch.flows_built,
+        wall_ms: batch.wall_ms,
+    })
 }
 
 /// The paper-scale die used by the solver benches.
@@ -529,15 +593,20 @@ fn run_optimizer_bench() -> Result<Json, String> {
     let config = FlowConfig::with_workload(WorkloadSpec::clustered_hotspot()).fast();
     let flow = Flow::new(config).map_err(|e| e.to_string())?;
     let registry = TransformRegistry::standard();
+    let request = OptimizeRequest::builder()
+        .for_flow(&flow)
+        .frontier(OPTIMIZER_BUDGETS)
+        .tag("clustered")
+        .build()
+        .map_err(|e| e.to_string())?;
     let started = Instant::now();
-    let frontier = pareto_frontier(
-        &flow,
-        &OPTIMIZER_BUDGETS,
-        &registry,
-        &OptimizeConfig::default(),
-    )
-    .map_err(|e| e.to_string())?;
+    let response = flow
+        .optimize_with(&request, &registry, &OptimizeConfig::default())
+        .map_err(|e| e.to_string())?;
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let frontier = response
+        .frontier()
+        .ok_or_else(|| "frontier request produced a non-frontier outcome".to_string())?;
     let kinds: std::collections::HashSet<&str> =
         frontier.points.iter().map(|p| p.kind.as_str()).collect();
     println!(
@@ -585,6 +654,140 @@ fn run_optimizer_bench() -> Result<Json, String> {
     ]))
 }
 
+/// Warm passes of the service bench: enough resubmissions of the same
+/// batch that the per-request warm cost is dominated by cache lookups
+/// rather than timer noise.
+const SERVICE_WARM_PASSES: usize = 4;
+
+/// A tagged goal of the service-bench batch: a label plus the builder
+/// step that sets the goal.
+type ServiceGoal = (
+    &'static str,
+    fn(postplace::OptimizeRequestBuilder) -> postplace::OptimizeRequestBuilder,
+);
+
+/// The mixed batch the service bench submits: one request per goal
+/// family, all on the clustered-hotspot workload.
+fn service_requests() -> Result<Vec<OptimizeRequest>, String> {
+    let goals: [ServiceGoal; 6] = [
+        ("uniform +8%", |b| {
+            b.strategy(Strategy::UniformSlack {
+                area_overhead: 0.08,
+            })
+        }),
+        ("uniform +16%", |b| {
+            b.strategy(Strategy::UniformSlack {
+                area_overhead: 0.16,
+            })
+        }),
+        ("eri 6 rows", |b| {
+            b.strategy(Strategy::EmptyRowInsertion { rows: 6 })
+        }),
+        ("wrapper +16%", |b| {
+            b.strategy(Strategy::HotspotWrapper {
+                area_overhead: 0.16,
+            })
+        }),
+        ("budget +16%", |b| b.budget(0.16)),
+        ("rows for -5%", |b| b.rows_for_target(5.0, 8)),
+    ];
+    goals
+        .iter()
+        .map(|(tag, goal)| {
+            goal(
+                OptimizeRequest::builder()
+                    .workload(WorkloadSpec::clustered_hotspot())
+                    .mesh(16, 16),
+            )
+            .tag(*tag)
+            .build()
+            .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// The `service` section: the optimization service (job queue + worker
+/// pool + keyed result cache) answering the mixed batch cold, then
+/// [`SERVICE_WARM_PASSES`] more times from cache. The warm-over-cold
+/// per-request ratio is a within-run quantity — machine speed cancels
+/// out — and every warm answer is verified bit-identical to its cold
+/// solve before anything is emitted.
+fn run_service_bench(threads: usize) -> Result<Json, String> {
+    let base = FlowConfig::with_workload(WorkloadSpec::clustered_hotspot()).fast();
+    let requests = service_requests()?;
+    // More workers than distinct flows buys nothing here (one resolved
+    // config); a small pool keeps the cold pass representative.
+    let workers = threads.clamp(1, 4);
+    let config = ServiceConfig::new(base).workers(workers).cache_capacity(64);
+    serve(config, |service| {
+        let run_batch = |service: &ServiceHandle<'_>| -> Result<Vec<JobRecord>, String> {
+            let ids: Vec<_> = requests.iter().map(|r| service.submit(r.clone())).collect();
+            ids.into_iter()
+                .map(|id| service.wait(id).map_err(|e| e.to_string()))
+                .collect()
+        };
+
+        let cold_started = Instant::now();
+        let cold = run_batch(service)?;
+        let cold_wall_ms = cold_started.elapsed().as_secs_f64() * 1e3;
+        let by_key: HashMap<postplace::CacheKey, String> = cold
+            .iter()
+            .map(|r| (r.key, response_to_json(&r.response).render()))
+            .collect();
+
+        let warm_started = Instant::now();
+        let mut warm = Vec::with_capacity(requests.len() * SERVICE_WARM_PASSES);
+        for _ in 0..SERVICE_WARM_PASSES {
+            warm.extend(run_batch(service)?);
+        }
+        let warm_wall_ms = warm_started.elapsed().as_secs_f64() * 1e3;
+
+        // Warm answers must be the cold solves, bit for bit — a cache
+        // that answers fast but differently measures nothing.
+        let mut warm_cold_solves = 0usize;
+        for record in &warm {
+            if record.source == ResultSource::ColdSolve {
+                warm_cold_solves += 1;
+            }
+            if by_key.get(&record.key).map(String::as_str)
+                != Some(response_to_json(&record.response).render().as_str())
+            {
+                return Err(format!(
+                    "warm answer for `{}` drifted from its cold solve",
+                    record.request.label()
+                ));
+            }
+        }
+
+        let cold_ms_per_req = cold_wall_ms / requests.len() as f64;
+        let warm_ms_per_req = warm_wall_ms / warm.len() as f64;
+        // Sub-microsecond warm passes would make the ratio noise; the
+        // clamp only matters on hardware faster than the cache itself.
+        let warm_over_cold = cold_ms_per_req / warm_ms_per_req.max(1e-4);
+        let stats = service.stats();
+        println!(
+            "service bench [clustered]: cold {cold_ms_per_req:.1} ms/req, \
+             warm {warm_ms_per_req:.3} ms/req over {SERVICE_WARM_PASSES} passes \
+             → {warm_over_cold:.0}× ({} cold solves, {} memory hits, {} flows)",
+            stats.cold_solves, stats.store.memory.hits, stats.flows_built
+        );
+        Ok(Json::obj([
+            ("requests", Json::Num(requests.len() as f64)),
+            ("warm_passes", Json::Num(SERVICE_WARM_PASSES as f64)),
+            ("workers", Json::Num(workers as f64)),
+            ("cold_wall_ms", Json::Num(cold_wall_ms)),
+            ("warm_wall_ms", Json::Num(warm_wall_ms)),
+            ("cold_ms_per_req", Json::Num(cold_ms_per_req)),
+            ("warm_ms_per_req", Json::Num(warm_ms_per_req)),
+            ("warm_over_cold", Json::Num(warm_over_cold)),
+            ("warm_cold_solves", Json::Num(warm_cold_solves as f64)),
+            ("cold_solves", Json::Num(stats.cold_solves as f64)),
+            ("memory_hits", Json::Num(stats.store.memory.hits as f64)),
+            ("flows_built", Json::Num(stats.flows_built as f64)),
+        ]))
+    })
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let grid = build_grid(args.smoke);
@@ -614,7 +817,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let sweep = match run_sweep(&grid, args.threads) {
+        let sweep = match run_engine(&grid, args.threads) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("sweep engine failed: {e}");
@@ -664,7 +867,7 @@ fn main() -> ExitCode {
             "large-mesh band: {} scenarios at 80x80 / 128x128",
             large_grid.scenario_count()
         );
-        match run_sweep(&large_grid, args.threads) {
+        match run_engine(&large_grid, args.threads) {
             Ok(report) => {
                 println!(
                     "large-mesh band done in {:.0} ms across {} flows",
@@ -713,7 +916,17 @@ fn main() -> ExitCode {
         }
     };
 
-    let record_json = |r: &postplace::ScenarioResult, index: usize, band: &str| {
+    // The optimization service: the mixed batch cold, then warm from
+    // the keyed result cache, with bit-identity verified in-bench.
+    let service_section = match run_service_bench(args.threads) {
+        Ok(section) => section,
+        Err(e) => {
+            eprintln!("service bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let record_json = |r: &EngineResult, index: usize, band: &str| {
         Json::obj([
             ("index", Json::Num(index as f64)),
             ("band", Json::Str(band.to_string())),
@@ -769,6 +982,7 @@ fn main() -> ExitCode {
         ("delta", delta_section),
         ("solver_scaling", solver_scaling),
         ("optimizer", optimizer_section),
+        ("service", service_section),
         ("records", Json::Arr(records)),
     ]);
     if let Err(e) = std::fs::write(&args.out, doc.render()) {

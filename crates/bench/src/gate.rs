@@ -14,6 +14,11 @@
 //!   [`DELTA_DRIFT_TOLERANCE_C`]) and fast (per-candidate throughput at
 //!   least [`MIN_DELTA_THROUGHPUT_RATIO`] times the re-solve path) —
 //!   both within-run measurements, so machine speed cancels out.
+//! * **Service cache** (schema ≥ 5) — warm requests answered by the
+//!   optimization service's keyed result cache must run at least
+//!   [`MIN_SERVICE_WARM_SPEEDUP`] times faster per request than their
+//!   cold solves (a within-run ratio), and no warm pass may fall back to
+//!   a cold solve.
 //!
 //! Violations come back as human-readable strings; an empty list passes.
 
@@ -50,6 +55,13 @@ pub const MIN_STRUCTURED_SPEEDUP: f64 = 1.5;
 /// quarter of the candidate space means the surrogate front (or its
 /// resolution knob) regressed.
 pub const MAX_OPTIMIZER_EXACT_SHARE: f64 = 0.25;
+
+/// Minimum per-request speedup a warm (cache-served) pass through the
+/// optimization service must hold over the cold pass that populated the
+/// cache (schema ≥ 5). A cache hit skips placement and every thermal
+/// solve, so the real ratio is orders of magnitude; the floor only has
+/// to catch the cache silently degrading into recomputation.
+pub const MIN_SERVICE_WARM_SPEEDUP: f64 = 3.0;
 
 /// Worst allowed temperature disagreement between the structured path
 /// and the CSR oracle, kelvin. Both solve the same conductances to a
@@ -154,6 +166,39 @@ pub fn check_against_baseline(
     failures.extend(check_delta_section(current, baseline));
     failures.extend(check_solver_scaling_section(current, baseline));
     failures.extend(check_optimizer_section(current, baseline));
+    failures.extend(check_service_section(current, baseline));
+    failures
+}
+
+/// Validates the optimization-service section (schema ≥ 5): the warm
+/// (cache-served) passes must beat the cold pass per request by at least
+/// [`MIN_SERVICE_WARM_SPEEDUP`], and none of them may have fallen back
+/// to a cold solve. Both are within-run quantities; the baseline only
+/// establishes that the section must be present at all.
+fn check_service_section(current: &Json, baseline: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(service) = current.get("service") else {
+        if baseline.get("service").is_some() {
+            failures.push("`service` section missing from this run".to_string());
+        }
+        return failures;
+    };
+    match service.require_f64("service", "warm_over_cold") {
+        Ok(ratio) if ratio < MIN_SERVICE_WARM_SPEEDUP => failures.push(format!(
+            "service cache serves warm requests only {ratio:.2}× faster than \
+             cold solves (floor {MIN_SERVICE_WARM_SPEEDUP}×)"
+        )),
+        Ok(_) => {}
+        Err(e) => failures.push(e),
+    }
+    match service.require_f64("service", "warm_cold_solves") {
+        Ok(n) if n > 0.0 => failures.push(format!(
+            "{n:.0} warm service request(s) fell through the result cache \
+             to a cold solve"
+        )),
+        Ok(_) => {}
+        Err(e) => failures.push(e),
+    }
     failures
 }
 
@@ -497,6 +542,61 @@ mod tests {
             "{failures:?}"
         );
         // Pre-v4 documents (no section on either side) still pass.
+        assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
+    }
+
+    fn with_service(mut doc: Json, warm_over_cold: f64, warm_cold_solves: f64) -> Json {
+        let Json::Obj(pairs) = &mut doc else {
+            unreachable!()
+        };
+        pairs.push((
+            "service".to_string(),
+            Json::obj([
+                ("warm_over_cold", Json::Num(warm_over_cold)),
+                ("warm_cold_solves", Json::Num(warm_cold_solves)),
+            ]),
+        ));
+        doc
+    }
+
+    #[test]
+    fn service_gate_requires_warm_speedup_and_no_cold_fallbacks() {
+        let base = with_service(doc(3.0, 81.5), 200.0, 0.0);
+        // Healthy section passes.
+        let good = with_service(doc(3.0, 81.5), 50.0, 0.0);
+        assert!(check_against_baseline(&good, &base, 0.25, 0.2).is_empty());
+        // Warm requests barely beating cold solves fails.
+        let tepid = with_service(doc(3.0, 81.5), 1.4, 0.0);
+        let failures = check_against_baseline(&tepid, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("warm requests")),
+            "{failures:?}"
+        );
+        // Any warm request falling through to a cold solve fails.
+        let leaky = with_service(doc(3.0, 81.5), 50.0, 2.0);
+        let failures = check_against_baseline(&leaky, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("fell through")),
+            "{failures:?}"
+        );
+        // A non-finite ratio fails by name instead of passing silently.
+        let poisoned = with_service(doc(3.0, 81.5), f64::NAN, 0.0);
+        let failures = check_against_baseline(&poisoned, &base, 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("warm_over_cold") && f.contains("not finite")),
+            "{failures:?}"
+        );
+        // Dropping the section entirely (when the baseline has it) fails.
+        let failures = check_against_baseline(&doc(3.0, 81.5), &base, 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("`service` section missing")),
+            "{failures:?}"
+        );
+        // Pre-v5 documents (no section on either side) still pass.
         assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
     }
 

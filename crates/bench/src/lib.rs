@@ -4,7 +4,11 @@
 //! evaluation; `perf` is a conventional Criterion suite.
 
 pub mod gate;
-pub mod json;
+
+// The dependency-free JSON layer moved down into the service crate
+// (its disk cache shares the codec); benches keep their old import
+// paths through this re-export.
+pub use coolserved::json;
 
 use postplace::{Flow, FlowReport, Strategy};
 

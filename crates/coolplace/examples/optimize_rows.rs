@@ -7,9 +7,7 @@
 //! cargo run --release --example optimize_rows [target_reduction_pct]
 //! ```
 
-use coolplace::postplace::{
-    best_strategy_within_budget, minimize_rows_for_target, Flow, FlowConfig,
-};
+use coolplace::postplace::{Flow, FlowConfig, OptimizeOutcome, OptimizeRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target: f64 = std::env::args()
@@ -22,7 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows0 = flow.base_placement().floorplan.num_rows();
 
     println!("target: {target:.1}% peak-temperature reduction");
-    let opt = minimize_rows_for_target(&flow, target, rows0 / 2)?;
+    let request = OptimizeRequest::builder()
+        .for_flow(&flow)
+        .rows_for_target(target, rows0 / 2)
+        .build()?;
+    let response = flow.optimize(&request)?;
+    let OptimizeOutcome::Rows(opt) = &response.outcome else {
+        unreachable!("rows_for_target goals yield row optima");
+    };
     println!(
         "minimum rows: {} (+{:.1}% area) → {:.2}% reduction, found in {} evaluations",
         opt.rows,
@@ -32,7 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for budget in [0.10, 0.20] {
-        let best = best_strategy_within_budget(&flow, budget)?;
+        let request = OptimizeRequest::builder()
+            .for_flow(&flow)
+            .budget(budget)
+            .build()?;
+        let response = flow.optimize(&request)?;
+        let best = response.report().expect("budget goals yield reports");
         println!(
             "best strategy within +{:.0}% area: {} → {:.2}% reduction",
             budget * 100.0,

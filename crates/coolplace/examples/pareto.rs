@@ -14,9 +14,7 @@
 //! `--fast` uses the scaled-down benchmark and a coarse mesh (what CI
 //! runs); the default is the paper-scale configuration.
 
-use coolplace::postplace::{
-    pareto_frontier, Flow, FlowConfig, OptimizeConfig, TransformRegistry, WorkloadSpec,
-};
+use coolplace::postplace::{Flow, FlowConfig, OptimizeRequest, WorkloadSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = std::env::args().any(|a| a == "--fast");
@@ -27,8 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flow = Flow::new(config)?;
 
     let budgets = [0.04, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.35];
-    let registry = TransformRegistry::standard();
-    let frontier = pareto_frontier(&flow, &budgets, &registry, &OptimizeConfig::default())?;
+    let request = OptimizeRequest::builder()
+        .for_flow(&flow)
+        .frontier(budgets)
+        .build()?;
+    let response = flow.optimize(&request)?;
+    println!("request {} -> cache key {}", request.label(), response.key);
+    let frontier = response.frontier().expect("frontier goals yield frontiers");
 
     println!(
         "screened {} candidates ({} skipped), exact-verified {} ({:.0}% of screened)",

@@ -1,0 +1,141 @@
+//! Quickstart for the optimization service: spin up a worker pool with
+//! a persistent result cache, submit a mixed batch of typed requests,
+//! and show warm answers coming back from cache bit-identical to their
+//! cold solves.
+//!
+//! ```sh
+//! cargo run --release --example service_quickstart
+//! ```
+
+use std::process::ExitCode;
+
+use coolserved::{serve, JobRecord, ResultSource, ServiceConfig};
+use postplace::{FlowConfig, OptimizeRequest, Strategy, WorkloadSpec};
+
+fn requests() -> Vec<OptimizeRequest> {
+    let workload = WorkloadSpec::clustered_hotspot();
+    vec![
+        OptimizeRequest::builder()
+            .workload(workload.clone())
+            .mesh(16, 16)
+            .strategy(Strategy::UniformSlack {
+                area_overhead: 0.16,
+            })
+            .tag("default +16%")
+            .build()
+            .expect("complete request"),
+        OptimizeRequest::builder()
+            .workload(workload.clone())
+            .mesh(16, 16)
+            .strategy(Strategy::EmptyRowInsertion { rows: 6 })
+            .tag("eri 6 rows")
+            .build()
+            .expect("complete request"),
+        OptimizeRequest::builder()
+            .workload(workload)
+            .mesh(16, 16)
+            .budget(0.16)
+            .tag("best within +16%")
+            .build()
+            .expect("complete request"),
+    ]
+}
+
+fn print_record(record: &JobRecord) {
+    let reduction = record
+        .response
+        .report()
+        .map(|r| format!("{:.2}% peak-rise reduction", r.reduction_pct()))
+        .unwrap_or_else(|| "frontier".to_string());
+    println!(
+        "  job {} [{}] {} -> {} in {:.0} ms ({})",
+        record.id,
+        record.request.label(),
+        record.key,
+        reduction,
+        record.wall_ms,
+        record.source
+    );
+}
+
+fn main() -> ExitCode {
+    // One service over the scaled-down benchmark; the disk tier lives
+    // under the target directory so a second run of this example is
+    // answered without solving anything.
+    let cache_root = std::env::temp_dir().join("coolserved-quickstart");
+    let config =
+        ServiceConfig::new(FlowConfig::with_workload(WorkloadSpec::clustered_hotspot()).fast())
+            .workers(2)
+            .cache_capacity(64)
+            .disk_root(&cache_root);
+    println!("result cache: {}", cache_root.display());
+
+    let ok = serve(config, |service| {
+        // Submit the whole batch up front; the ids come back
+        // immediately while the workers chew through the queue.
+        let cold_ids: Vec<_> = requests().into_iter().map(|r| service.submit(r)).collect();
+        println!("\nfirst pass ({} jobs):", cold_ids.len());
+        let mut cold = Vec::new();
+        for id in cold_ids {
+            match service.wait(id) {
+                Ok(record) => {
+                    print_record(&record);
+                    cold.push(record);
+                }
+                Err(e) => {
+                    eprintln!("  job {id} failed: {e}");
+                    return false;
+                }
+            }
+        }
+
+        // Resubmit: every answer must now come from a cache tier, and
+        // the payload must match the cold solve bit for bit.
+        println!("\nsecond pass (same requests):");
+        let warm_ids: Vec<_> = cold
+            .iter()
+            .map(|r| service.submit(r.request.clone()))
+            .collect();
+        for (id, cold_record) in warm_ids.into_iter().zip(&cold) {
+            match service.wait(id) {
+                Ok(record) => {
+                    print_record(&record);
+                    if record.source == ResultSource::ColdSolve {
+                        eprintln!("  expected a cache hit, got a cold solve");
+                        return false;
+                    }
+                    let warm = coolserved::wire::response_to_json(&record.response).render();
+                    let cold = coolserved::wire::response_to_json(&cold_record.response).render();
+                    if warm != cold {
+                        eprintln!("  warm answer drifted from the cold solve");
+                        return false;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("  job {id} failed: {e}");
+                    return false;
+                }
+            }
+        }
+
+        let stats = service.stats();
+        println!(
+            "\nservice: {} jobs, {} cold solves, {} memory hits, {} disk writes, {} flows built",
+            stats.submitted,
+            stats.cold_solves,
+            stats.store.memory.hits,
+            stats.store.disk_writes,
+            stats.flows_built
+        );
+        true
+    });
+
+    // Leave no state behind: the example doubles as a CI check and must
+    // be cold again on the next run.
+    let _ = std::fs::remove_dir_all(&cache_root);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type of the optimization service.
+
+use postplace::FlowError;
+
+/// Errors surfaced by the service front end, its workers, and the
+/// persistent result store.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The underlying flow failed to build or evaluate.
+    Flow(FlowError),
+    /// A disk-tier read or write failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The OS error.
+        detail: String,
+    },
+    /// A persisted document failed to parse or decode.
+    Codec {
+        /// What went wrong, naming the offending section/key.
+        detail: String,
+    },
+    /// A job failed on a worker; the flow error's rendered form (the
+    /// job table hands results across threads, so the non-`Clone`
+    /// source error is captured as its message).
+    Job {
+        /// The failed job's rendered error.
+        detail: String,
+    },
+    /// A job id that this service never issued.
+    UnknownJob {
+        /// The id that was asked about.
+        id: postplace::JobId,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Flow(e) => write!(f, "flow: {e}"),
+            ServiceError::Io { path, detail } => write!(f, "io at {path}: {detail}"),
+            ServiceError::Codec { detail } => write!(f, "codec: {detail}"),
+            ServiceError::Job { detail } => write!(f, "job failed: {detail}"),
+            ServiceError::UnknownJob { id } => write!(f, "unknown job {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlowError> for ServiceError {
+    fn from(e: FlowError) -> Self {
+        ServiceError::Flow(e)
+    }
+}

@@ -1,12 +1,15 @@
 //! A tiny, dependency-free JSON value type with a stable writer and a
 //! strict-enough reader.
 //!
-//! The bench pipeline's contract with CI is a machine-readable file
-//! (`BENCH_sweep.json`) whose schema must stay diffable run-over-run:
-//! object keys keep insertion order, floats render in Rust's shortest
-//! round-trip form, and output is pretty-printed with two-space indents.
-//! The vendored `serde` stub has no `serde_json`, so this module carries
-//! the few hundred lines the pipeline needs.
+//! Two consumers share this module: the service's persistent result
+//! cache (every `<key>.json` on disk is a rendered [`Json`] document)
+//! and the bench pipeline's CI contract (`BENCH_sweep.json`), which
+//! re-exports it as `coolplace_bench::json`. Both need the same
+//! properties: object keys keep insertion order, floats render in
+//! Rust's shortest round-trip form (so `f64`s survive a
+//! render → parse cycle bit-exactly), and output is pretty-printed with
+//! two-space indents. The vendored `serde` stub has no `serde_json`, so
+//! this module carries the few hundred lines both pipelines need.
 
 use std::fmt::Write as _;
 

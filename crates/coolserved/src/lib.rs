@@ -1,0 +1,51 @@
+//! `coolserved` — a long-running thermal-optimization service over the
+//! [`postplace`] flow.
+//!
+//! The crate turns the one-shot library API into a job-oriented
+//! service suitable for a design team's shared box:
+//!
+//! * **Typed requests in, typed envelopes out.** Clients build
+//!   [`postplace::OptimizeRequest`] values and submit them through a
+//!   [`ServiceHandle`]; completed jobs come back as [`JobRecord`]s
+//!   carrying the deterministic [`postplace::OptimizeResponse`] plus
+//!   per-execution metadata (wall time, [`ResultSource`]) that is
+//!   deliberately **not** part of the response, so warm answers stay
+//!   bit-identical to cold solves.
+//! * **A worker pool behind a queue.** [`serve`] spawns scoped worker
+//!   threads that share one primed [`postplace::Flow`] per distinct
+//!   resolved configuration and drain the queue on shutdown.
+//! * **A two-tier persistent result cache.** [`ResultStore`] layers an
+//!   in-memory LRU over an on-disk JSON directory keyed by
+//!   [`postplace::CacheKey`] — a stable content hash, so a second
+//!   process (or a run next week) reuses last week's solves.
+//!
+//! ```no_run
+//! use coolserved::{serve, ServiceConfig};
+//! use postplace::{FlowConfig, OptimizeRequest};
+//!
+//! let config = ServiceConfig::new(FlowConfig::scattered_small())
+//!     .workers(4)
+//!     .disk_root("/tmp/coolserved-cache");
+//! let record = serve(config, |service| {
+//!     let request = OptimizeRequest::builder()
+//!         .workload(postplace::WorkloadSpec::clustered_hotspot())
+//!         .mesh(16, 16)
+//!         .budget(0.16)
+//!         .build()
+//!         .unwrap();
+//!     let id = service.submit(request);
+//!     service.wait(id).unwrap()
+//! });
+//! println!("{} via {}", record.key, record.source);
+//! ```
+
+pub mod json;
+
+mod error;
+mod service;
+mod store;
+pub mod wire;
+
+pub use error::ServiceError;
+pub use service::{serve, JobRecord, JobStatus, ServiceConfig, ServiceHandle, ServiceStats};
+pub use store::{ResultSource, ResultStore, StoreStats, STORE_NAMESPACE};

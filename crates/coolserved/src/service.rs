@@ -1,0 +1,338 @@
+//! The optimization service: a job queue in front of a scoped worker
+//! pool, answering from the two-tier [`ResultStore`].
+//!
+//! [`serve`] owns the whole lifecycle: it builds the shared state,
+//! spawns `workers` threads inside a [`std::thread::scope`], hands the
+//! client closure a [`ServiceHandle`], and on closure return flips the
+//! shutdown flag. Workers **drain the queue before exiting**, so every
+//! job submitted before the closure returned has a terminal state by
+//! the time `serve` does — the scope join is the completion barrier.
+//!
+//! Flows are expensive to build (netlist synthesis, placement, thermal
+//! factorization), so workers share one [`Flow`] per distinct resolved
+//! configuration through a keyed cache; requests that only differ in
+//! goal reuse the same primed flow. Results are keyed by
+//! [`Flow::content_key`] and deduplicated by the store; two workers
+//! racing on the same key both solve and one overwrites the other with
+//! a bit-identical document, which is tolerated rather than locked
+//! around.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use postplace::{config_fingerprint, CacheStats, Flow, FlowConfig, JobId, OptimizeRequest};
+
+use crate::store::{ResultSource, ResultStore, StoreStats};
+use crate::ServiceError;
+
+/// Configuration of one [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Base flow configuration; each request's workload and mesh are
+    /// resolved on top of it.
+    pub base: FlowConfig,
+    /// Worker threads. Zero is clamped to one.
+    pub workers: usize,
+    /// Capacity of the in-memory result tier.
+    pub cache_capacity: usize,
+    /// Root of the on-disk result tier; `None` disables persistence.
+    pub disk_root: Option<PathBuf>,
+}
+
+impl ServiceConfig {
+    /// A service over `base` with two workers, a 256-entry memory
+    /// tier, and no disk tier.
+    pub fn new(base: FlowConfig) -> ServiceConfig {
+        ServiceConfig {
+            base,
+            workers: 2,
+            cache_capacity: 256,
+            disk_root: None,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the memory-tier capacity.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Attaches a persistent disk tier rooted at `root`.
+    pub fn disk_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.disk_root = Some(root.into());
+        self
+    }
+}
+
+/// Lifecycle of a submitted job, as reported by
+/// [`ServiceHandle::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, not yet picked up by a worker.
+    Queued,
+    /// A worker is solving it.
+    Running,
+    /// Finished; [`ServiceHandle::wait`] returns its [`JobRecord`].
+    Done,
+    /// Failed; [`ServiceHandle::wait`] returns the error.
+    Failed,
+}
+
+/// The completed-job envelope: the deterministic response plus the
+/// per-execution metadata that deliberately lives outside it.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The id [`ServiceHandle::submit`] returned.
+    pub id: JobId,
+    /// The request this job answered.
+    pub request: OptimizeRequest,
+    /// The content key the result is cached under.
+    pub key: postplace::CacheKey,
+    /// The answer; bit-identical whether solved or served from cache.
+    pub response: Arc<postplace::OptimizeResponse>,
+    /// Where the answer came from.
+    pub source: ResultSource,
+    /// Wall-clock time from dequeue to terminal state.
+    pub wall_ms: f64,
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done(JobRecord),
+    Failed(String),
+}
+
+/// Counter snapshot of a running service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted by [`ServiceHandle::submit`].
+    pub submitted: u64,
+    /// Jobs that reached [`JobStatus::Done`].
+    pub completed: u64,
+    /// Jobs that reached [`JobStatus::Failed`].
+    pub failed: u64,
+    /// Jobs answered by actually running the optimization.
+    pub cold_solves: u64,
+    /// Distinct flows built (one per resolved configuration).
+    pub flows_built: u64,
+    /// Result-store counters (memory hits/misses, disk hits/writes).
+    pub store: StoreStats,
+    /// Flow-cache counters.
+    pub flows: CacheStats,
+}
+
+struct Shared {
+    base: FlowConfig,
+    queue: Mutex<VecDeque<(JobId, OptimizeRequest)>>,
+    queue_cv: Condvar,
+    jobs: Mutex<HashMap<u64, JobState>>,
+    jobs_cv: Condvar,
+    shutdown: AtomicBool,
+    store: ResultStore,
+    flows: postplace::KeyedCache<u64, Flow>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cold_solves: AtomicU64,
+    flows_built: AtomicU64,
+}
+
+/// Capacity of the per-service flow cache: flows are large (placed
+/// netlist + factorized thermal model), so only a handful of distinct
+/// configurations stay resident.
+const FLOW_CACHE_CAP: usize = 8;
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Client-side handle to a running service; shared by reference with
+/// every thread the client closure spawns.
+pub struct ServiceHandle<'a> {
+    shared: &'a Shared,
+}
+
+impl ServiceHandle<'_> {
+    /// Enqueues a request and returns its job id immediately.
+    pub fn submit(&self, request: OptimizeRequest) -> JobId {
+        let id = JobId::new(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        unpoison(self.shared.jobs.lock()).insert(id.value(), JobState::Queued);
+        unpoison(self.shared.queue.lock()).push_back((id, request));
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.queue_cv.notify_one();
+        id
+    }
+
+    /// The job's current lifecycle state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`] for an id this service never
+    /// issued.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, ServiceError> {
+        let jobs = unpoison(self.shared.jobs.lock());
+        match jobs.get(&id.value()) {
+            Some(JobState::Queued) => Ok(JobStatus::Queued),
+            Some(JobState::Running) => Ok(JobStatus::Running),
+            Some(JobState::Done(_)) => Ok(JobStatus::Done),
+            Some(JobState::Failed(_)) => Ok(JobStatus::Failed),
+            None => Err(ServiceError::UnknownJob { id }),
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`] for an unissued id;
+    /// [`ServiceError::Job`] carrying the worker's rendered error if
+    /// the job failed.
+    pub fn wait(&self, id: JobId) -> Result<JobRecord, ServiceError> {
+        let mut jobs = unpoison(self.shared.jobs.lock());
+        loop {
+            match jobs.get(&id.value()) {
+                None => return Err(ServiceError::UnknownJob { id }),
+                Some(JobState::Done(record)) => return Ok(record.clone()),
+                Some(JobState::Failed(detail)) => {
+                    return Err(ServiceError::Job {
+                        detail: detail.clone(),
+                    })
+                }
+                Some(JobState::Queued | JobState::Running) => {
+                    jobs = unpoison(self.shared.jobs_cv.wait(jobs));
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            cold_solves: self.shared.cold_solves.load(Ordering::Relaxed),
+            flows_built: self.shared.flows_built.load(Ordering::Relaxed),
+            store: self.shared.store.stats(),
+            flows: self.shared.flows.stats(),
+        }
+    }
+}
+
+fn execute(
+    shared: &Shared,
+    request: &OptimizeRequest,
+    id: JobId,
+) -> Result<JobRecord, ServiceError> {
+    let started = Instant::now();
+    let resolved = request.resolve_config(&shared.base);
+    let fingerprint = config_fingerprint(&resolved);
+    let flow = shared.flows.get_or_compute(fingerprint, || {
+        let flow = Flow::new(resolved)?;
+        flow.prime_baseline()?;
+        shared.flows_built.fetch_add(1, Ordering::Relaxed);
+        Ok::<_, ServiceError>(flow)
+    })?;
+    let key = flow.content_key(request)?;
+    let (response, source) = match shared.store.get(key)? {
+        Some((response, source)) => (response, source),
+        None => {
+            let response = Arc::new(flow.optimize(request)?);
+            shared.store.put(key, Arc::clone(&response))?;
+            shared.cold_solves.fetch_add(1, Ordering::Relaxed);
+            (response, ResultSource::ColdSolve)
+        }
+    };
+    Ok(JobRecord {
+        id,
+        request: request.clone(),
+        key,
+        response,
+        source,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = unpoison(shared.queue.lock());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = unpoison(shared.queue_cv.wait(queue));
+            }
+        };
+        let Some((id, request)) = job else { return };
+        unpoison(shared.jobs.lock()).insert(id.value(), JobState::Running);
+        let state = match execute(shared, &request, id) {
+            Ok(record) => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                JobState::Done(record)
+            }
+            Err(e) => {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                JobState::Failed(e.to_string())
+            }
+        };
+        unpoison(shared.jobs.lock()).insert(id.value(), state);
+        shared.jobs_cv.notify_all();
+    }
+}
+
+/// Runs a service for the lifetime of `client`: spawn workers, hand
+/// the closure a handle, and on return shut down after the queue
+/// drains. Every submitted job has a terminal state when this returns.
+pub fn serve<R>(config: ServiceConfig, client: impl FnOnce(&ServiceHandle<'_>) -> R) -> R {
+    let workers = config.workers.max(1);
+    let shared = Shared {
+        base: config.base,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        jobs: Mutex::new(HashMap::new()),
+        jobs_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        store: ResultStore::new(config.cache_capacity.max(1), config.disk_root),
+        flows: postplace::KeyedCache::with_capacity(FLOW_CACHE_CAP),
+        next_id: AtomicU64::new(1),
+        submitted: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        cold_solves: AtomicU64::new(0),
+        flows_built: AtomicU64::new(0),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(&shared));
+        }
+        let handle = ServiceHandle { shared: &shared };
+        // The shutdown flag must flip even if the client panics —
+        // otherwise the workers idle forever and the scope's implicit
+        // join deadlocks instead of propagating the panic.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| client(&handle)));
+        shared.shutdown.store(true, Ordering::Release);
+        shared.queue_cv.notify_all();
+        match out {
+            Ok(out) => out,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}

@@ -1,0 +1,189 @@
+//! Two-tier persistent result store: in-memory LRU over an on-disk
+//! JSON layer.
+//!
+//! Results are keyed by [`CacheKey`] — the stable content hash of the
+//! request plus the resolved flow configuration — so a key computed in
+//! one process finds a result written by another. The memory tier is a
+//! [`KeyedCache`]; the optional disk tier stores one rendered document
+//! per key at `<root>/optimize/<hex-key>.json`, written atomically
+//! (temp file + rename) so a crashed writer never leaves a torn
+//! document for a later reader to choke on. Disk hits are promoted
+//! into the memory tier on the way out.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use postplace::{CacheKey, CacheStats, KeyedCache, OptimizeResponse};
+
+use crate::json::Json;
+use crate::wire::{response_from_json, response_to_json, WIRE_SCHEMA};
+use crate::ServiceError;
+
+/// Directory under the disk root that namespaces this store's files;
+/// other stores (future stores of different document kinds) get their
+/// own namespace beside it.
+pub const STORE_NAMESPACE: &str = "optimize";
+
+/// Where an answered request's result actually came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResultSource {
+    /// Nothing cached; a worker ran the optimization.
+    ColdSolve,
+    /// Served from the in-memory tier.
+    MemoryCache,
+    /// Served from the on-disk tier (and promoted to memory).
+    DiskCache,
+}
+
+impl std::fmt::Display for ResultSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ResultSource::ColdSolve => "cold-solve",
+            ResultSource::MemoryCache => "memory-cache",
+            ResultSource::DiskCache => "disk-cache",
+        })
+    }
+}
+
+/// Counter snapshot of a [`ResultStore`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Memory-tier counters (hits/misses/evictions/inserts).
+    pub memory: CacheStats,
+    /// Lookups answered by the disk tier.
+    pub disk_hits: u64,
+    /// Documents written to the disk tier.
+    pub disk_writes: u64,
+}
+
+/// The two-tier store. Cloning is cheap and shares the memory tier.
+#[derive(Clone)]
+pub struct ResultStore {
+    memory: KeyedCache<CacheKey, OptimizeResponse>,
+    disk: Option<Arc<PathBuf>>,
+    disk_hits: Arc<AtomicU64>,
+    disk_writes: Arc<AtomicU64>,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> ServiceError {
+    ServiceError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+impl ResultStore {
+    /// A store whose memory tier holds at most `capacity` responses,
+    /// optionally backed by `<disk_root>/optimize/`.
+    pub fn new(capacity: usize, disk_root: Option<PathBuf>) -> ResultStore {
+        ResultStore {
+            memory: KeyedCache::with_capacity(capacity),
+            disk: disk_root.map(|root| Arc::new(root.join(STORE_NAMESPACE))),
+            disk_hits: Arc::new(AtomicU64::new(0)),
+            disk_writes: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The on-disk path a key persists to, if a disk tier is attached.
+    pub fn path_for(&self, key: CacheKey) -> Option<PathBuf> {
+        self.disk
+            .as_deref()
+            .map(|dir| dir.join(format!("{}.json", key.to_hex())))
+    }
+
+    /// Looks `key` up, memory tier first, then disk. A disk hit is
+    /// decoded, promoted into memory, and counted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] if the persisted file exists but cannot be
+    /// read, [`ServiceError::Codec`] if it does not decode — a corrupt
+    /// cache entry fails loudly rather than masquerading as a miss.
+    pub fn get(
+        &self,
+        key: CacheKey,
+    ) -> Result<Option<(Arc<OptimizeResponse>, ResultSource)>, ServiceError> {
+        if let Some(hit) = self.memory.get(&key) {
+            return Ok(Some((hit, ResultSource::MemoryCache)));
+        }
+        let Some(path) = self.path_for(key) else {
+            return Ok(None);
+        };
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+        let doc = Json::parse(&text).map_err(|detail| ServiceError::Codec {
+            detail: format!("{}: {detail}", path.display()),
+        })?;
+        let schema = doc.get("schema").and_then(Json::as_f64);
+        if schema != Some(WIRE_SCHEMA) {
+            return Err(ServiceError::Codec {
+                detail: format!(
+                    "{}: schema {schema:?} does not match wire schema {WIRE_SCHEMA}",
+                    path.display()
+                ),
+            });
+        }
+        // The file is named by the *content* key (resolved physics +
+        // goal); the response's own `key` field is the cheaper request
+        // fingerprint, so integrity is checked against the envelope's
+        // content_key instead.
+        let named = doc.get("content_key").and_then(Json::as_str);
+        if named != Some(key.to_hex().as_str()) {
+            return Err(ServiceError::Codec {
+                detail: format!(
+                    "{}: document says content key {named:?} but file is named {key}",
+                    path.display()
+                ),
+            });
+        }
+        let response = doc
+            .get("response")
+            .ok_or_else(|| ServiceError::Codec {
+                detail: format!("{}: missing key `response`", path.display()),
+            })
+            .and_then(response_from_json)?;
+        let response = Arc::new(response);
+        self.memory.insert(key, Arc::clone(&response));
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some((response, ResultSource::DiskCache)))
+    }
+
+    /// Stores `response` under `key` in both tiers. The disk write goes
+    /// through a temp file and an atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] if the disk tier cannot be written.
+    pub fn put(&self, key: CacheKey, response: Arc<OptimizeResponse>) -> Result<(), ServiceError> {
+        if let Some(path) = self.path_for(key) {
+            let dir = path.parent().unwrap_or_else(|| Path::new("."));
+            fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+            let document = Json::obj([
+                ("schema", Json::Num(WIRE_SCHEMA)),
+                ("content_key", Json::Str(key.to_hex())),
+                ("response", response_to_json(&response)),
+            ]);
+            // Unique temp name per process+key: concurrent writers of
+            // the same key race only at the rename, which is atomic.
+            let tmp = dir.join(format!(".{}.tmp-{}", key.to_hex(), std::process::id()));
+            fs::write(&tmp, document.render()).map_err(|e| io_err(&tmp, e))?;
+            fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+            self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.memory.insert(key, response);
+        Ok(())
+    }
+
+    /// Counter snapshot across both tiers.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            memory: self.memory.stats(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! A shared, generation-aware, LRU-bounded `get_or_compute` cache — the
+//! primitive under [`crate::ThermalModelCache`] and the result store of
+//! the `coolserved` optimization service.
+//!
+//! Entries are tagged with the cache's *generation* at compute time;
+//! [`KeyedCache::bump_generation`] invalidates everything computed
+//! before it without walking the map (stale entries fall out lazily on
+//! the next touch). Hit / miss / eviction counters are exposed via
+//! [`KeyedCache::stats`] so the bench pipeline can gate cache
+//! effectiveness instead of guessing at it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Counter snapshot of a [`KeyedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or only a stale generation).
+    pub misses: u64,
+    /// Entries evicted by the LRU bound or dropped as stale.
+    pub evictions: u64,
+    /// Values inserted.
+    pub insertions: u64,
+    /// Current invalidation generation.
+    pub generation: u64,
+    /// Live entries.
+    pub len: usize,
+    /// LRU capacity.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    generation: u64,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    capacity: usize,
+    /// Monotonic LRU clock, bumped on every touch.
+    tick: u64,
+    generation: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+/// A thread-safe keyed cache with compute-once semantics, an LRU bound,
+/// and a generation counter for wholesale invalidation.
+///
+/// Values are handed out as `Arc<V>`, so a hit never clones the payload
+/// and an eviction never invalidates a value a caller still holds.
+/// Clones of the cache share one store — the sweep engine and the
+/// service worker pool both rely on that to share factorized models
+/// across threads.
+///
+/// Eviction scans for the least-recently-used entry (O(len)); the
+/// workloads this backs hold tens of entries, where a scan beats the
+/// bookkeeping of a linked LRU list.
+#[derive(Debug)]
+pub struct KeyedCache<K, V> {
+    inner: Arc<Mutex<Inner<K, V>>>,
+}
+
+impl<K, V> Clone for KeyedCache<K, V> {
+    fn clone(&self) -> Self {
+        KeyedCache {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> KeyedCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (clamped to 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        KeyedCache {
+            inner: Arc::new(Mutex::new(Inner {
+                entries: HashMap::new(),
+                capacity: capacity.max(1),
+                tick: 0,
+                generation: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                insertions: 0,
+            })),
+        }
+    }
+
+    /// Locks the store, recovering from poisoning: entries are only ever
+    /// inserted whole (`Arc`s of finished values), so a panic on another
+    /// thread cannot leave the map half-written.
+    fn lock(&self) -> MutexGuard<'_, Inner<K, V>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks `key` up, counting a hit or miss. An entry from an older
+    /// generation is dropped and counted as a miss.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let generation = inner.generation;
+        let (value, stale) = match inner.entries.get_mut(key) {
+            Some(entry) if entry.generation == generation => {
+                entry.last_used = tick;
+                (Some(Arc::clone(&entry.value)), false)
+            }
+            Some(_) => (None, true),
+            None => (None, false),
+        };
+        if stale {
+            inner.entries.remove(key);
+            inner.evictions += 1;
+        }
+        if value.is_some() {
+            inner.hits += 1;
+        } else {
+            inner.misses += 1;
+        }
+        value
+    }
+
+    /// Inserts `value` under `key` at the current generation, evicting
+    /// the least-recently-used entry if the cache is full.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let generation = inner.generation;
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= inner.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(lru) = lru {
+                inner.entries.remove(&lru);
+                inner.evictions += 1;
+            }
+        }
+        inner.insertions += 1;
+        inner.entries.insert(
+            key,
+            Entry {
+                value,
+                generation,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on
+    /// a miss. The computation runs *outside* the lock so distinct keys
+    /// compute concurrently; if two threads race on the same key, the
+    /// loser's value is dropped in favour of the first one cached.
+    ///
+    /// A value computed across a [`KeyedCache::bump_generation`] call is
+    /// still returned to its caller but tagged with the generation it
+    /// was started under, so later lookups discard it as stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error; nothing is cached then.
+    pub fn get_or_compute<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        if let Some(value) = self.get(&key) {
+            return Ok(value);
+        }
+        let started_generation = self.lock().generation;
+        let value = Arc::new(compute()?);
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let current_generation = inner.generation;
+        if let Some(existing) = inner.entries.get_mut(&key) {
+            if existing.generation == current_generation {
+                existing.last_used = tick;
+                return Ok(Arc::clone(&existing.value));
+            }
+        }
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= inner.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(lru) = lru {
+                inner.entries.remove(&lru);
+                inner.evictions += 1;
+            }
+        }
+        inner.insertions += 1;
+        inner.entries.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                generation: started_generation,
+                last_used: tick,
+            },
+        );
+        Ok(value)
+    }
+
+    /// Invalidates every cached entry by advancing the generation
+    /// counter. O(1): stale entries are dropped lazily as they are
+    /// touched (or evicted by the LRU bound).
+    pub fn bump_generation(&self) {
+        self.lock().generation += 1;
+    }
+
+    /// Drops every entry immediately (counters and generation survive).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.evictions += dropped;
+    }
+
+    /// Entries currently held (stale ones included until touched).
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            insertions: inner.insertions,
+            generation: inner.generation,
+            len: inner.entries.len(),
+            capacity: inner.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_compute_computes_once_and_counts() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::with_capacity(4);
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = cache
+                .get_or_compute(7, || {
+                    computes += 1;
+                    Ok::<_, ()>(42)
+                })
+                .unwrap();
+            assert_eq!(*v, 42);
+        }
+        assert_eq!(computes, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn compute_errors_cache_nothing() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::with_capacity(4);
+        assert!(cache
+            .get_or_compute(1, || Err::<u32, &str>("boom"))
+            .is_err());
+        assert!(cache.is_empty());
+        let v = cache.get_or_compute(1, || Ok::<_, &str>(5)).unwrap();
+        assert_eq!(*v, 5);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::with_capacity(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        assert!(cache.get(&1).is_some()); // 2 is now the coldest
+        cache.insert(3, Arc::new(30));
+        assert!(cache.get(&2).is_none(), "LRU entry must be gone");
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn bump_generation_invalidates_lazily() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::with_capacity(4);
+        cache.insert(1, Arc::new(10));
+        cache.bump_generation();
+        assert_eq!(cache.len(), 1, "invalidation is lazy");
+        assert!(cache.get(&1).is_none(), "stale generation must miss");
+        assert_eq!(cache.len(), 0, "the stale entry is dropped on touch");
+        let stats = cache.stats();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.evictions, 1);
+        // Recompute lands in the new generation and hits again.
+        let v = cache.get_or_compute(1, || Ok::<_, ()>(11)).unwrap();
+        assert_eq!(*v, 11);
+        assert!(cache.get(&1).is_some());
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::with_capacity(4);
+        let clone = cache.clone();
+        cache.insert(9, Arc::new(99));
+        assert_eq!(clone.get(&9).as_deref(), Some(&99));
+        assert_eq!(clone.stats().hits, 1);
+    }
+}

@@ -14,6 +14,12 @@ pub enum FlowError {
         /// Human-readable explanation.
         detail: String,
     },
+    /// A typed [`crate::OptimizeRequest`] was malformed or dispatched
+    /// against a flow it does not match.
+    BadRequest {
+        /// Human-readable explanation.
+        detail: String,
+    },
     /// An engine invariant was violated — a bug in this crate, not in
     /// the caller's input. Surfaced as an error instead of a panic so a
     /// long-running sweep degrades to a failed scenario, not a crash.
@@ -31,6 +37,7 @@ impl std::fmt::Display for FlowError {
             FlowError::Thermal(e) => write!(f, "thermal: {e}"),
             FlowError::Timing(e) => write!(f, "timing: {e}"),
             FlowError::BadStrategy { detail } => write!(f, "bad strategy: {detail}"),
+            FlowError::BadRequest { detail } => write!(f, "bad request: {detail}"),
             FlowError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
         }
     }
@@ -43,7 +50,9 @@ impl std::error::Error for FlowError {
             FlowError::Place(e) => Some(e),
             FlowError::Thermal(e) => Some(e),
             FlowError::Timing(e) => Some(e),
-            FlowError::BadStrategy { .. } | FlowError::Internal { .. } => None,
+            FlowError::BadStrategy { .. }
+            | FlowError::BadRequest { .. }
+            | FlowError::Internal { .. } => None,
         }
     }
 }

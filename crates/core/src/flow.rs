@@ -2,8 +2,7 @@
 //! (benchmark generation) → logic simulation → power estimation →
 //! placement → thermal simulation → **area management** → re-analysis.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use arithgen::{build_benchmark, BenchmarkConfig, UnitRole};
 use geom::{Grid2d, Rect};
@@ -16,8 +15,8 @@ use timan::{analyze, TimingConfig, TimingReport};
 
 use crate::{
     detect_hotspots, DeltaCandidateEvaluator, ExactCandidateEvaluator, FlowError, Hotspot,
-    HotspotConfig, PlacementTransform, PowerDelta, Strategy, TransformContext, TransformState,
-    WrapperConfig,
+    HotspotConfig, KeyedCache, PlacementTransform, PowerDelta, Strategy, TransformContext,
+    TransformState, WrapperConfig,
 };
 use thermalsim::DeltaThermalModel;
 
@@ -225,31 +224,15 @@ impl FlowReport {
     }
 }
 
-/// Cache key: mesh resolution, a fingerprint of everything else the
-/// factorization depends on (layer stack, boundary conditions, solver
-/// backend and tolerance), and the bit-exact die outline — so flows with
-/// different thermal configurations can safely share one cache.
-type ModelKey = (usize, usize, u64, u64, u64, u64, u64);
+/// Cache key: the thermal config's process-stable fingerprint (mesh,
+/// layer stack, boundary conditions, solver backend and tolerance) plus
+/// the bit-exact die outline — so flows with different thermal
+/// configurations can safely share one cache.
+type ModelKey = (u64, u64, u64, u64, u64);
 
 fn model_key(config: &ThermalConfig, die: Rect) -> ModelKey {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    config.tolerance.to_bits().hash(&mut h);
-    config.solver.hash(&mut h);
-    let stack = &config.stack;
-    stack.h_bottom_w_m2k.to_bits().hash(&mut h);
-    stack.h_top_w_m2k.to_bits().hash(&mut h);
-    stack.package_resistance_k_w.to_bits().hash(&mut h);
-    stack.ambient_c.to_bits().hash(&mut h);
-    stack.active_layer().hash(&mut h);
-    for layer in stack.layers() {
-        layer.thickness_um.to_bits().hash(&mut h);
-        layer.conductivity_w_mk.to_bits().hash(&mut h);
-    }
     (
-        config.grid.nx,
-        config.grid.ny,
-        h.finish(),
+        config.stable_fingerprint(),
         die.llx.to_bits(),
         die.lly.to_bits(),
         die.urx.to_bits(),
@@ -262,37 +245,50 @@ fn model_key(config: &ThermalConfig, die: Rect) -> ModelKey {
 const MODEL_CACHE_CAP: usize = 64;
 
 /// A shareable cache of factorized thermal models, keyed by mesh and die
-/// outline. Every [`Flow`] owns one; [`crate::run_sweep`] points all of a
-/// sweep's flows at a single cache so identical geometries (the base
-/// placement is workload-independent) are factorized once.
-#[derive(Debug, Clone, Default)]
+/// outline. Every [`Flow`] owns one; [`crate::run_requests`] points all
+/// of a batch's flows at a single cache so identical geometries (the
+/// base placement is workload-independent) are factorized once. Built on
+/// [`KeyedCache`], so hit/miss/eviction counters are observable through
+/// [`ThermalModelCache::stats`].
+#[derive(Debug, Clone)]
 pub struct ThermalModelCache {
-    models: Arc<Mutex<HashMap<ModelKey, Arc<FactorizedThermalModel>>>>,
+    models: KeyedCache<ModelKey, FactorizedThermalModel>,
+}
+
+impl Default for ThermalModelCache {
+    fn default() -> Self {
+        ThermalModelCache::new()
+    }
 }
 
 impl ThermalModelCache {
     /// An empty cache.
     pub fn new() -> Self {
-        ThermalModelCache::default()
-    }
-
-    /// Locks the map, recovering from poisoning: the cache holds only
-    /// finished `Arc`s, so a panic on another thread cannot leave it in
-    /// a half-written state worth propagating.
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<ModelKey, Arc<FactorizedThermalModel>>> {
-        self.models
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        ThermalModelCache {
+            models: KeyedCache::with_capacity(MODEL_CACHE_CAP),
+        }
     }
 
     /// Cached models currently held.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.models.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.models.is_empty()
+    }
+
+    /// Hit/miss/eviction counters of the underlying [`KeyedCache`].
+    pub fn stats(&self) -> crate::CacheStats {
+        self.models.stats()
+    }
+
+    /// Invalidates every cached model (lazily, via the generation
+    /// counter) — for long-running services whose thermal configuration
+    /// changes underneath a shared cache.
+    pub fn invalidate(&self) {
+        self.models.bump_generation();
     }
 
     fn get_or_build(
@@ -300,23 +296,13 @@ impl ThermalModelCache {
         config: &ThermalConfig,
         die: Rect,
     ) -> Result<Arc<FactorizedThermalModel>, FlowError> {
-        let key = model_key(config, die);
-        if let Some(model) = self.lock().get(&key) {
-            return Ok(Arc::clone(model));
-        }
-        // Build outside the lock so distinct geometries factorize
-        // concurrently; a rare double build of the same key just means
-        // the loser's model is dropped in favour of the cached one.
-        let model = Arc::new(FactorizedThermalModel::build(config, die)?);
-        let mut models = self.lock();
-        if let Some(existing) = models.get(&key) {
-            return Ok(Arc::clone(existing));
-        }
-        if models.len() >= MODEL_CACHE_CAP {
-            models.clear();
-        }
-        models.insert(key, Arc::clone(&model));
-        Ok(model)
+        // The compute runs outside the cache lock so distinct geometries
+        // factorize concurrently; a rare double build of the same key
+        // just means the loser's model is dropped in favour of the
+        // cached one.
+        self.models.get_or_compute(model_key(config, die), || {
+            FactorizedThermalModel::build(config, die).map_err(FlowError::from)
+        })
     }
 }
 

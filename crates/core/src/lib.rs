@@ -47,17 +47,21 @@
 //! # }
 //! ```
 
+mod cache;
 mod eri;
 mod error;
 mod evaluate;
 mod flow;
 mod hotspot;
 mod optimize;
+mod request;
 mod strategy;
 mod sweep;
 mod transform;
 mod uniform;
 mod wrapper;
+
+pub use cache::{CacheStats, KeyedCache};
 
 pub use eri::{
     empty_row_insertion, eri_insertion_positions, eri_power_delta, eri_surrogate_map,
@@ -72,12 +76,23 @@ pub use hotspot::{
     classify_hotspots, detect_hotspots, split_hotspots_by_regions, Hotspot, HotspotClass,
     HotspotConfig,
 };
+#[allow(deprecated)]
+pub use optimize::{best_strategy_within_budget, pareto_frontier};
 pub use optimize::{
-    best_strategy_within_budget, best_strategy_within_budget_with, minimize_rows_for_target,
-    pareto_frontier, BudgetOptimum, OptimizeConfig, ParetoFrontier, ParetoPoint, RowOptimum,
+    best_strategy_within_budget_with, minimize_rows_for_target, BudgetOptimum, OptimizeConfig,
+    ParetoFrontier, ParetoPoint, RowOptimum,
+};
+pub use request::{
+    config_fingerprint, CacheKey, JobId, OptimizeGoal, OptimizeOutcome, OptimizeRequest,
+    OptimizeRequestBuilder, OptimizeResponse, StableHasher,
 };
 pub use strategy::Strategy;
-pub use sweep::{default_threads, run_sweep, Scenario, ScenarioResult, SweepGrid, SweepReport};
+#[allow(deprecated)]
+pub use sweep::run_sweep;
+pub use sweep::{
+    default_threads, run_requests, RequestBatch, RequestOutcome, Scenario, ScenarioResult,
+    SweepGrid, SweepReport,
+};
 pub use transform::{
     rows_for_budget, CompositeTransform, EmptyRowInsertionTransform, HotBinSpreadTransform,
     HotspotWrapperTransform, NoneTransform, PlacementTransform, SpreadFillersTransform,

@@ -212,12 +212,18 @@ pub struct BudgetOptimum {
 /// Evaluates the three techniques at an area budget and returns the
 /// report with the largest peak-temperature reduction.
 ///
-/// Convenience wrapper over [`best_strategy_within_budget_with`] at the
-/// default [`OptimizeConfig`].
+/// Deprecated shim: build an [`crate::OptimizeRequest`] with
+/// [`crate::OptimizeRequestBuilder::budget`] and dispatch it through
+/// [`Flow::optimize`] instead — bit-identical by construction (both
+/// paths run [`best_strategy_within_budget_with`]).
 ///
 /// # Errors
 ///
 /// Propagates the first evaluation error.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an OptimizeRequest with .budget(..) and call Flow::optimize"
+)]
 pub fn best_strategy_within_budget(flow: &Flow, area_budget: f64) -> Result<FlowReport, FlowError> {
     best_strategy_within_budget_with(flow, area_budget, &OptimizeConfig::default())
         .map(|opt| opt.report)
@@ -391,7 +397,24 @@ impl ParetoFrontier {
 /// # Errors
 ///
 /// Propagates baseline/thermal failures.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an OptimizeRequest with .frontier(..) and call Flow::optimize \
+            (or Flow::optimize_with for a custom registry)"
+)]
 pub fn pareto_frontier(
+    flow: &Flow,
+    budgets: &[f64],
+    registry: &TransformRegistry,
+    config: &OptimizeConfig,
+) -> Result<ParetoFrontier, FlowError> {
+    compute_pareto_frontier(flow, budgets, registry, config)
+}
+
+/// The frontier engine behind [`Flow::optimize`]'s frontier goal and
+/// the deprecated [`pareto_frontier`] shim (see that function's docs
+/// for the screen-then-verify contract).
+pub(crate) fn compute_pareto_frontier(
     flow: &Flow,
     budgets: &[f64],
     registry: &TransformRegistry,
@@ -600,11 +623,24 @@ mod tests {
     }
 
     #[test]
-    fn best_strategy_fits_the_budget() {
+    fn best_strategy_fits_the_budget_and_the_shim_matches_the_typed_path() {
         let flow = Flow::new(FlowConfig::scattered_small().fast()).unwrap();
+        #[allow(deprecated)]
         let best = best_strategy_within_budget(&flow, 0.16).unwrap();
         assert!(best.reduction_pct() > 0.0);
         assert!(best.area_overhead_pct <= 16.5);
+        // The deprecated shim must stay bit-identical to the typed path.
+        let request = crate::OptimizeRequest::builder()
+            .workload(flow.config().workload.clone())
+            .mesh(flow.config().thermal.grid.nx, flow.config().thermal.grid.ny)
+            .budget(0.16)
+            .build()
+            .unwrap();
+        let typed = flow.optimize(&request).unwrap();
+        let typed_report = typed.report().unwrap();
+        assert_eq!(best.after.peak_c, typed_report.after.peak_c);
+        assert_eq!(best.area_overhead_pct, typed_report.area_overhead_pct);
+        assert_eq!(best.transform_id, typed_report.transform_id);
     }
 
     #[test]

@@ -2,28 +2,35 @@
 //! evaluations across worker threads, reusing every cache the flow
 //! offers.
 //!
-//! A [`SweepGrid`] names the axes; [`run_sweep`] expands them into
-//! [`Scenario`]s, builds one [`Flow`] per (workload, mesh) group — the
-//! expensive netlist/simulation/placement prefix — and then evaluates all
-//! scenarios of a group against that shared flow, so the memoized
-//! baseline and the per-geometry factorized thermal models are amortized
-//! across the whole grid. Both phases run under [`std::thread::scope`]
-//! with a simple atomic work queue; results come back in deterministic
-//! scenario order regardless of thread count.
+//! The engine is [`run_requests`]: it takes typed
+//! [`OptimizeRequest`]s, builds one [`Flow`] per (workload, mesh) group
+//! — the expensive netlist/simulation/placement prefix — and then
+//! dispatches every request of a group against that shared flow, so the
+//! memoized baseline and the per-geometry factorized thermal models are
+//! amortized across the whole batch. Both phases run under
+//! [`std::thread::scope`] with a simple atomic work queue; results come
+//! back in deterministic submission order regardless of thread count.
+//!
+//! A [`SweepGrid`] still names (workload × mesh × strategy) axes and
+//! expands them — via [`SweepGrid::requests`] into typed requests, or
+//! via the deprecated [`run_sweep`] shim into the legacy
+//! [`SweepReport`] shape.
 //!
 //! # Examples
 //!
 //! ```no_run
-//! use postplace::{run_sweep, FlowConfig, Strategy, SweepGrid};
+//! use postplace::{run_requests, FlowConfig, Strategy, SweepGrid};
 //!
 //! # fn main() -> Result<(), postplace::FlowError> {
-//! let grid = SweepGrid::new(FlowConfig::scattered_small().fast())
+//! let config = FlowConfig::scattered_small().fast();
+//! let grid = SweepGrid::new(config.clone())
 //!     .mesh(16, 16)
 //!     .strategy(Strategy::UniformSlack { area_overhead: 0.16 })
 //!     .row_counts([4, 8, 12]);
-//! let report = run_sweep(&grid, 4)?;
-//! for r in &report.results {
-//!     println!("{}: {:.2}% in {:.1} ms", r.scenario.strategy, r.report.reduction_pct(), r.wall_ms);
+//! let batch = run_requests(&config, &grid.requests()?, 4)?;
+//! for r in &batch.outcomes {
+//!     let report = r.response.report().expect("strategy goals yield reports");
+//!     println!("{}: {:.2}% in {:.1} ms", r.request.label(), report.reduction_pct(), r.wall_ms);
 //! }
 //! # Ok(())
 //! # }
@@ -35,7 +42,10 @@ use std::time::Instant;
 
 use thermalsim::GridSpec;
 
-use crate::{Flow, FlowConfig, FlowError, FlowReport, Strategy, WorkloadSpec};
+use crate::{
+    Flow, FlowConfig, FlowError, FlowReport, OptimizeRequest, OptimizeResponse, Strategy,
+    WorkloadSpec,
+};
 
 /// One cell of the sweep grid: which workload, mesh resolution and
 /// transformation to evaluate.
@@ -221,6 +231,43 @@ impl SweepGrid {
         }
         out
     }
+
+    /// Expands the grid into typed [`OptimizeRequest`]s (same order as
+    /// [`SweepGrid::scenarios`]); each request is tagged with its
+    /// workload label for display.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::BadRequest`] when a scenario does not validate
+    /// (cannot happen for grids built through the checked builders).
+    pub fn requests(&self) -> Result<Vec<OptimizeRequest>, FlowError> {
+        self.scenarios()
+            .iter()
+            .map(|scenario| self.scenario_request(scenario))
+            .collect()
+    }
+
+    /// The typed request one scenario maps onto: strategy-axis
+    /// scenarios become [`crate::OptimizeGoal::Strategy`] goals (the
+    /// serde facade travels as-is — no float-through-string round
+    /// trip), transform-axis scenarios become
+    /// [`crate::OptimizeGoal::Transform`] goals.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::BadRequest`] when the scenario does not validate.
+    pub fn scenario_request(&self, scenario: &Scenario) -> Result<OptimizeRequest, FlowError> {
+        let config = self.scenario_config(scenario);
+        let builder = OptimizeRequest::builder()
+            .workload(config.workload)
+            .mesh(scenario.mesh.0, scenario.mesh.1)
+            .tag(&scenario.workload);
+        match &scenario.transform {
+            Some(id) => builder.transform(id.clone()),
+            None => builder.strategy(scenario.strategy),
+        }
+        .build()
+    }
 }
 
 /// One evaluated scenario: the flow report plus its wall-clock cost.
@@ -247,6 +294,30 @@ pub struct SweepReport {
     pub wall_ms: f64,
 }
 
+/// One evaluated request of a [`run_requests`] batch.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The request that was dispatched.
+    pub request: OptimizeRequest,
+    /// Its deterministic response.
+    pub response: OptimizeResponse,
+    /// Wall-clock time of this dispatch, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The outcome of a [`run_requests`] batch.
+#[derive(Debug, Clone)]
+pub struct RequestBatch {
+    /// Per-request outcomes, in submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Distinct (workload, mesh) flows that were built.
+    pub flows_built: usize,
+    /// End-to-end wall-clock of the batch (flow builds included), ms.
+    pub wall_ms: f64,
+}
+
 /// The machine's available parallelism (1 if it cannot be queried).
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -267,58 +338,95 @@ fn group_config(base: &FlowConfig, workload: &WorkloadSpec, mesh: (usize, usize)
 /// Runs every scenario of `grid` across `threads` workers and returns
 /// the results in grid order.
 ///
-/// Flows (one per workload × mesh group) are built first, in parallel;
-/// scenario evaluations then share them, so the factorized thermal
-/// models and the memoized baselines are reused across the whole grid.
-/// With `threads == 1` the sweep still benefits from that reuse — thread
-/// fan-out stacks on top on multi-core machines.
+/// Deprecated shim over [`run_requests`]: the grid expands through
+/// [`SweepGrid::requests`], the batch runs on the typed engine, and the
+/// responses are repackaged into the legacy [`SweepReport`] shape —
+/// bit-identical reports by construction.
 ///
 /// # Errors
 ///
 /// Returns the first flow-construction or evaluation error; remaining
 /// workers stop at the next queue pull.
+#[deprecated(
+    since = "0.2.0",
+    note = "expand the grid with SweepGrid::requests and call run_requests"
+)]
 pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowError> {
-    let started = Instant::now();
     let scenarios = grid.scenarios();
-    if scenarios.is_empty() {
-        return Ok(SweepReport {
-            results: Vec::new(),
+    let requests = grid.requests()?;
+    let batch = run_requests(&grid.base, &requests, threads)?;
+    let results = scenarios
+        .into_iter()
+        .zip(batch.outcomes)
+        .map(|(scenario, outcome)| {
+            let report = outcome
+                .response
+                .report()
+                .cloned()
+                .ok_or_else(|| FlowError::Internal {
+                    detail: "a grid scenario produced a non-report outcome".to_string(),
+                })?;
+            Ok(ScenarioResult {
+                scenario,
+                report,
+                wall_ms: outcome.wall_ms,
+            })
+        })
+        .collect::<Result<_, FlowError>>()?;
+    Ok(SweepReport {
+        results,
+        threads: batch.threads,
+        flows_built: batch.flows_built,
+        wall_ms: batch.wall_ms,
+    })
+}
+
+/// Runs every request of `requests` (resolved against `base`) across
+/// `threads` workers and returns the outcomes in submission order.
+///
+/// Flows (one per distinct workload × mesh) are built first, in
+/// parallel; request dispatches then share them, so the factorized
+/// thermal models and the memoized baselines are reused across the
+/// whole batch. With `threads == 1` the batch still benefits from that
+/// reuse — thread fan-out stacks on top on multi-core machines.
+///
+/// # Errors
+///
+/// Returns the first flow-construction or dispatch error; remaining
+/// workers stop at the next queue pull.
+pub fn run_requests(
+    base: &FlowConfig,
+    requests: &[OptimizeRequest],
+    threads: usize,
+) -> Result<RequestBatch, FlowError> {
+    let started = Instant::now();
+    if requests.is_empty() {
+        return Ok(RequestBatch {
+            outcomes: Vec::new(),
             threads: 0,
             flows_built: 0,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
         });
     }
 
-    // Group scenarios by (workload, mesh): one Flow per group.
-    let mut group_of = Vec::with_capacity(scenarios.len());
-    let mut groups: Vec<(String, WorkloadSpec, (usize, usize))> = Vec::new();
-    for scenario in &scenarios {
+    // Group requests by (workload, mesh): one Flow per group.
+    let mut group_of = Vec::with_capacity(requests.len());
+    let mut groups: Vec<(WorkloadSpec, (usize, usize))> = Vec::new();
+    for request in requests {
         let key = groups
             .iter()
-            .position(|(label, _, mesh)| *label == scenario.workload && *mesh == scenario.mesh);
+            .position(|(spec, mesh)| *spec == request.workload && *mesh == request.mesh);
         let gi = match key {
             Some(gi) => gi,
             None => {
-                let spec = grid
-                    .effective_workloads()
-                    .iter()
-                    .find(|(label, _)| *label == scenario.workload)
-                    .ok_or_else(|| FlowError::Internal {
-                        detail: format!(
-                            "scenario workload `{}` is not in the grid",
-                            scenario.workload
-                        ),
-                    })?
-                    .1
-                    .clone();
-                groups.push((scenario.workload.clone(), spec, scenario.mesh));
+                groups.push((request.workload.clone(), request.mesh));
                 groups.len() - 1
             }
         };
         group_of.push(gi);
     }
 
-    let threads = threads.max(1).min(scenarios.len());
+    let threads = threads.max(1).min(requests.len());
     let error: Mutex<Option<FlowError>> = Mutex::new(None);
     let abort = AtomicBool::new(false);
     // All worker-shared mutexes guard plain data that is never left
@@ -349,13 +457,12 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
                 if gi >= groups.len() || abort.load(Ordering::SeqCst) {
                     break;
                 }
-                let (_, spec, mesh) = &groups[gi];
-                let built =
-                    Flow::new(group_config(&grid.base, spec, *mesh)).and_then(|mut flow| {
-                        flow.set_thermal_cache(shared_cache.clone());
-                        flow.prime_baseline()?;
-                        Ok(flow)
-                    });
+                let (spec, mesh) = &groups[gi];
+                let built = Flow::new(group_config(base, spec, *mesh)).and_then(|mut flow| {
+                    flow.set_thermal_cache(shared_cache.clone());
+                    flow.prime_baseline()?;
+                    Ok(flow)
+                });
                 match built {
                     Ok(flow) => {
                         *flow_slots[gi].lock().unwrap_or_else(unpoison) = Some(flow);
@@ -379,33 +486,28 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
         })
         .collect::<Result<_, _>>()?;
 
-    // Phase 2: evaluate scenarios against the shared flows.
-    let results: Mutex<Vec<Option<ScenarioResult>>> =
-        Mutex::new((0..scenarios.len()).map(|_| None).collect());
-    let next_scenario = AtomicUsize::new(0);
+    // Phase 2: dispatch requests against the shared flows.
+    let outcomes: Mutex<Vec<Option<RequestOutcome>>> =
+        Mutex::new((0..requests.len()).map(|_| None).collect());
+    let next_request = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
-                let i = next_scenario.fetch_add(1, Ordering::SeqCst);
-                if i >= scenarios.len() || abort.load(Ordering::SeqCst) {
+                let i = next_request.fetch_add(1, Ordering::SeqCst);
+                if i >= requests.len() || abort.load(Ordering::SeqCst) {
                     break;
                 }
-                let scenario = &scenarios[i];
+                let request = &requests[i];
                 let flow = &flows[group_of[i]];
                 let eval_started = Instant::now();
-                let outcome = match &scenario.transform {
-                    Some(id) => crate::TransformRegistry::parse(id)
-                        .and_then(|t| flow.run_transform(t.as_ref())),
-                    None => flow.run(scenario.strategy),
-                };
-                match outcome {
-                    Ok(report) => {
-                        let result = ScenarioResult {
-                            scenario: scenario.clone(),
-                            report,
+                match flow.optimize(request) {
+                    Ok(response) => {
+                        let outcome = RequestOutcome {
+                            request: request.clone(),
+                            response,
                             wall_ms: eval_started.elapsed().as_secs_f64() * 1e3,
                         };
-                        results.lock().unwrap_or_else(unpoison)[i] = Some(result);
+                        outcomes.lock().unwrap_or_else(unpoison)[i] = Some(outcome);
                     }
                     Err(e) => fail(e),
                 }
@@ -415,18 +517,18 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
     if let Some(e) = error.lock().unwrap_or_else(unpoison).take() {
         return Err(e);
     }
-    let results = results
+    let outcomes = outcomes
         .into_inner()
         .unwrap_or_else(unpoison)
         .into_iter()
         .map(|r| {
             r.ok_or_else(|| FlowError::Internal {
-                detail: "a scenario was never evaluated yet no error was recorded".to_string(),
+                detail: "a request was never dispatched yet no error was recorded".to_string(),
             })
         })
         .collect::<Result<_, _>>()?;
-    Ok(SweepReport {
-        results,
+    Ok(RequestBatch {
+        outcomes,
         threads,
         flows_built: groups.len(),
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
@@ -471,6 +573,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn sweep_matches_direct_runs_and_is_thread_invariant() {
         let grid = small_grid();
         let one = run_sweep(&grid, 1).unwrap();
@@ -520,6 +623,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn transform_axis_scenarios_match_direct_transform_runs() {
         let id = "composite(targeted-eri:4+spread)";
         let grid = SweepGrid::new(FlowConfig::scattered_small().fast())
@@ -547,10 +651,47 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn empty_grid_returns_an_empty_report() {
         let grid = SweepGrid::new(FlowConfig::scattered_small().fast());
         let report = run_sweep(&grid, 2).unwrap();
         assert!(report.results.is_empty());
         assert_eq!(report.flows_built, 0);
+        let batch = run_requests(&grid.base, &[], 2).unwrap();
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.flows_built, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sweep_shim_is_bit_identical_to_the_typed_batch() {
+        let grid = small_grid();
+        let legacy = run_sweep(&grid, 2).unwrap();
+        let batch = run_requests(&grid.base, &grid.requests().unwrap(), 2).unwrap();
+        assert_eq!(legacy.results.len(), batch.outcomes.len());
+        assert_eq!(legacy.flows_built, batch.flows_built);
+        for (old, new) in legacy.results.iter().zip(&batch.outcomes) {
+            let report = new.response.report().expect("strategy goals yield reports");
+            // Bit-identical, not approximately equal: the shim routes
+            // through the exact same typed dispatch.
+            assert_eq!(
+                old.report.after.peak_c.to_bits(),
+                report.after.peak_c.to_bits()
+            );
+            assert_eq!(
+                old.report.area_overhead_pct.to_bits(),
+                report.area_overhead_pct.to_bits()
+            );
+            assert_eq!(old.report.transform_id, report.transform_id);
+            assert_eq!(old.scenario.label(), {
+                // Strategy-axis requests carry the strategy's compact
+                // display through the goal; labels stay comparable.
+                match &new.request.goal {
+                    crate::OptimizeGoal::Strategy(s) => s.to_string(),
+                    crate::OptimizeGoal::Transform { id } => id.clone(),
+                    _ => unreachable!("grids only expand strategy/transform goals"),
+                }
+            });
+        }
     }
 }

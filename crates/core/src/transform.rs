@@ -188,6 +188,20 @@ impl TransformState {
     pub fn hotspots(&self) -> Option<&[Hotspot]> {
         self.thermal.as_ref().map(|(_, h)| h.as_slice())
     }
+
+    /// The memoized thermal analysis, as an error (not a panic) when a
+    /// stage asks before [`TransformState::ensure_thermal`] ran — a bug
+    /// in the transform, surfaced as [`FlowError::Internal`] so a batch
+    /// degrades to one failed request instead of crashing the process.
+    pub fn analysis(&self) -> Result<(&ThermalMap, &[Hotspot]), FlowError> {
+        self.thermal
+            .as_ref()
+            .map(|(t, h)| (t, h.as_slice()))
+            .ok_or_else(|| FlowError::Internal {
+                detail: "transform stage read the thermal analysis before ensure_thermal"
+                    .to_string(),
+            })
+    }
 }
 
 /// An open placement transform: the unit of the strategy engine.
@@ -428,8 +442,7 @@ impl PlacementTransform for EmptyRowInsertionTransform {
         state: &mut TransformState,
     ) -> Result<TransformState, FlowError> {
         state.ensure_thermal(ctx)?;
-        let tmap = state.tmap().expect("ensured");
-        let hotspots = state.hotspots().expect("ensured");
+        let (tmap, hotspots) = state.analysis()?;
         let (fp, pl, report) = empty_row_insertion(
             ctx.flow().netlist(),
             &state.floorplan,
@@ -486,7 +499,7 @@ impl PlacementTransform for TargetedRowInsertionTransform {
         state: &mut TransformState,
     ) -> Result<TransformState, FlowError> {
         state.ensure_thermal(ctx)?;
-        let tmap = state.tmap().expect("ensured");
+        let (tmap, _) = state.analysis()?;
         let positions = targeted_insertion_positions(&state.floorplan, tmap, self.rows)?;
         let (fp, mapping) = state.floorplan.with_rows_inserted(&positions);
         let mut placement = state.placement.remap_rows(&fp, &mapping);
@@ -551,7 +564,7 @@ impl PlacementTransform for WrapHotspotsTransform {
     ) -> Result<TransformState, FlowError> {
         let flow = ctx.flow();
         state.ensure_thermal(ctx)?;
-        let tmap = state.tmap().expect("ensured");
+        let (tmap, _) = state.analysis()?;
         // Resolution-aware thresholds, as in the enum-era HW arm: a
         // fixed min_bins lets sliver hotspots through on fine meshes.
         let hotspot_cfg = flow.wrapper_hotspot_config();
@@ -661,7 +674,7 @@ impl PlacementTransform for SpreadFillersTransform {
         let flow = ctx.flow();
         let netlist = flow.netlist();
         state.ensure_thermal(ctx)?;
-        let tmap = state.tmap().expect("ensured");
+        let (tmap, _) = state.analysis()?;
         let grid = tmap.grid();
         let (floor, peak) = (grid.min_bin(), grid.max_bin());
         let (tmin, tmax) = match (floor, peak) {
@@ -692,12 +705,16 @@ impl PlacementTransform for SpreadFillersTransform {
                 .collect();
             // Gap weights: each of the n+1 gaps is as hot as its hotter
             // neighbour, so whitespace opens around the hot cells.
+            let (first, last) = match (heat.first(), heat.last()) {
+                (Some(&first), Some(&last)) => (first, last),
+                _ => continue, // empty rows were skipped above
+            };
             let mut gaps = Vec::with_capacity(heat.len() + 1);
-            gaps.push(heat[0]);
+            gaps.push(first);
             for pair in heat.windows(2) {
                 gaps.push(pair[0].max(pair[1]));
             }
-            gaps.push(*heat.last().expect("non-empty row"));
+            gaps.push(last);
             let used: u32 = cells.iter().map(|&(_, _, w)| w).sum();
             let free = fp.row(row as usize).num_sites.saturating_sub(used);
             let alloc = weighted_row_gaps(free, &gaps);
@@ -868,7 +885,9 @@ impl PlacementTransform for CompositeTransform {
             };
             current = Some(next);
         }
-        Ok(current.expect("non-empty pipeline"))
+        current.ok_or_else(|| FlowError::Internal {
+            detail: "composite transform applied with an empty stage list".to_string(),
+        })
     }
 
     fn surrogate_power(&self, flow: &Flow, power: &Grid2d<f64>) -> Result<Grid2d<f64>, FlowError> {

@@ -309,7 +309,11 @@ pub fn hotspot_wrapper(
             if is_hot(id) {
                 hot_cells.push(id);
             } else {
-                let slot = placement.location(id).expect("placed");
+                // `cell_rect` above answered, so the cell has a slot;
+                // skip rather than assert if that ever stops holding.
+                let Some(slot) = placement.location(id) else {
+                    continue;
+                };
                 cold_cells.push((id, rect.center(), slot));
             }
         }
@@ -390,18 +394,17 @@ pub fn hotspot_wrapper(
         // are local").
         let sources: Vec<(CellId, geom::Point)> = hot_cells
             .iter()
-            .map(|&id| {
-                let c = placement
+            .filter_map(|&id| {
+                placement
                     .cell_center(netlist, floorplan, id)
-                    .expect("hot cells are placed");
-                (id, c)
+                    .map(|c| (id, c))
             })
             .collect();
         for &id in &hot_cells {
             placement.remove(id);
         }
         spread_scaled(netlist, floorplan, placement, &sources, *region)?;
-        respread += hot_cells.len();
+        respread += sources.len();
     }
     fill_whitespace(netlist, floorplan, placement)?;
     Ok(WrapperReport {
@@ -482,9 +485,16 @@ fn spread_scaled(
             per_segment[i].sort_by(|a, b| a.1.total_cmp(&b.1));
             let take_last = i + 1 < nseg;
             let moved = if take_last {
-                per_segment[i].pop().expect("non-empty overflow")
+                per_segment[i].pop()
+            } else if per_segment[i].is_empty() {
+                None
             } else {
-                per_segment[i].remove(0)
+                Some(per_segment[i].remove(0))
+            };
+            // `used > cap >= 0` implies the segment holds a cell; bail
+            // out of the balance loop rather than assert on it.
+            let Some(moved) = moved else {
+                break;
             };
             let dst = if take_last { i + 1 } else { i - 1 };
             per_segment[dst].push(moved);

@@ -5,7 +5,7 @@
 //! verifications.
 
 use postplace::{
-    pareto_frontier, Flow, FlowConfig, OptimizeConfig, Strategy, TransformRegistry, WorkloadSpec,
+    Flow, FlowConfig, OptimizeRequest, ParetoFrontier, Strategy, TransformRegistry, WorkloadSpec,
 };
 
 const BUDGETS: [f64; 8] = [0.04, 0.08, 0.12, 0.16, 0.20, 0.25, 0.30, 0.35];
@@ -14,11 +14,23 @@ fn clustered_flow() -> Flow {
     Flow::new(FlowConfig::with_workload(WorkloadSpec::clustered_hotspot()).fast()).unwrap()
 }
 
+fn frontier_of(flow: &Flow) -> ParetoFrontier {
+    let request = OptimizeRequest::builder()
+        .for_flow(flow)
+        .frontier(BUDGETS)
+        .build()
+        .unwrap();
+    flow.optimize(&request)
+        .unwrap()
+        .frontier()
+        .cloned()
+        .expect("frontier goals yield frontiers")
+}
+
 #[test]
 fn frontier_is_monotone_diverse_and_bit_exact() {
     let flow = clustered_flow();
-    let registry = TransformRegistry::standard();
-    let frontier = pareto_frontier(&flow, &BUDGETS, &registry, &OptimizeConfig::default()).unwrap();
+    let frontier = frontier_of(&flow);
 
     // At least 5 exact-verified points spanning ≥ 3 distinct transform
     // kinds, with a composite and a new (post-enum) technique on the
@@ -105,9 +117,7 @@ fn frontier_respects_budget_caps() {
     // Every verified point's *planned* overhead fit its budget; the
     // realized overhead stays within the slack of the largest budget.
     let flow = clustered_flow();
-    let registry = TransformRegistry::standard();
-    let config = OptimizeConfig::default();
-    let frontier = pareto_frontier(&flow, &BUDGETS, &registry, &config).unwrap();
+    let frontier = frontier_of(&flow);
     let cap = BUDGETS.last().unwrap() * 100.0;
     for point in &frontier.points {
         assert!(

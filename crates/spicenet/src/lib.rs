@@ -56,6 +56,6 @@ pub use mna::{Method, SolveOptions};
 pub use solution::{DcSolution, SolveStats};
 pub use sparse::CsrMatrix;
 pub use stencil::{
-    FactorizedStencil, LayeredStencilSpec, MgWorkspace, MultigridPreconditioner, StencilOperator,
-    StencilSystem,
+    FactorizedStencil, LayeredStencilSpec, MgWorkspace, MultigridPreconditioner, StencilFactorMeta,
+    StencilOperator, StencilSystem,
 };

@@ -986,20 +986,21 @@ impl MultigridPreconditioner {
     /// breaks down (an indefinite system — impossible for a resistive
     /// mesh with at least one leak to a pinned node).
     pub fn build(sys: &StencilSystem) -> Result<Self, SolveError> {
-        let mut levels = vec![sys.op.clone()];
-        loop {
-            let last = levels.last().expect("non-empty hierarchy");
-            if last.nx.max(last.ny) <= COARSE_LATERAL_MAX {
-                break;
-            }
-            levels.push(last.coarsened());
+        // Walk the hierarchy through a local operator instead of peeking
+        // at `levels.last()`, so the loop needs no "non-empty" claims.
+        let mut levels = Vec::new();
+        let mut coarsest = sys.op.clone();
+        while coarsest.nx.max(coarsest.ny) > COARSE_LATERAL_MAX {
+            let next = coarsest.coarsened();
+            levels.push(coarsest);
+            coarsest = next;
         }
-        let coarse = DenseSpd::from_stencil(levels.last().expect("non-empty hierarchy"))
-            .ok_or_else(|| SolveError::Singular {
-                detail: "coarse-grid factorization broke down \
+        let coarse = DenseSpd::from_stencil(&coarsest).ok_or_else(|| SolveError::Singular {
+            detail: "coarse-grid factorization broke down \
                              (stencil system is not positive definite)"
-                    .to_string(),
-            })?;
+                .to_string(),
+        })?;
+        levels.push(coarsest);
         Ok(MultigridPreconditioner {
             levels,
             coarse,
@@ -1010,6 +1011,11 @@ impl MultigridPreconditioner {
     /// Number of levels in the hierarchy (finest included).
     pub fn levels(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Unknowns on the coarsest (densely factorized) level.
+    pub fn coarse_unknowns(&self) -> usize {
+        self.levels.last().map(|l| l.len()).unwrap_or(0)
     }
 
     /// Allocates scratch space for one solve over `k` lanes.
@@ -1152,6 +1158,25 @@ pub struct FactorizedStencil {
     max_iterations: usize,
 }
 
+/// Serializable summary of one stencil factorization — what a result
+/// cache records next to the answers a factorization produced, so cached
+/// entries stay auditable without holding the factorization itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StencilFactorMeta {
+    /// Lateral grid extent.
+    pub nx: usize,
+    /// Lateral grid extent.
+    pub ny: usize,
+    /// Vertical layers.
+    pub nz: usize,
+    /// Total unknowns (grid cells + border node).
+    pub unknowns: usize,
+    /// Multigrid hierarchy depth (finest level included).
+    pub multigrid_levels: usize,
+    /// Unknowns on the densely factorized coarsest level.
+    pub coarse_unknowns: usize,
+}
+
 impl FactorizedStencil {
     /// Builds the multigrid hierarchy for `sys`. Only `tolerance` and
     /// `max_iterations` of `options` are honoured.
@@ -1185,6 +1210,18 @@ impl FactorizedStencil {
     /// Levels in the multigrid hierarchy.
     pub fn multigrid_levels(&self) -> usize {
         self.mg.levels()
+    }
+
+    /// The factorization's serializable metadata.
+    pub fn meta(&self) -> StencilFactorMeta {
+        StencilFactorMeta {
+            nx: self.sys.op.nx,
+            ny: self.sys.op.ny,
+            nz: self.sys.op.nz,
+            unknowns: self.sys.unknowns(),
+            multigrid_levels: self.mg.levels(),
+            coarse_unknowns: self.mg.coarse_unknowns(),
+        }
     }
 
     /// Solves for per-cell values with `injections` (grid-cell index,

@@ -40,7 +40,7 @@ mod stack;
 
 pub use delta::{ColumnStats, DeltaEvaluation, DeltaThermalModel};
 pub use map::ThermalMap;
-pub use model::FactorizedThermalModel;
+pub use model::{FactorizedThermalModel, ModelMeta};
 pub use sim::{GridSpec, SolverKind, ThermalConfig, ThermalError, ThermalSimulator};
 pub use spicenet::SolveStats;
 pub use stack::{Layer, LayerStack};

@@ -44,6 +44,30 @@ pub(crate) struct InfluenceColumn {
     pub iterations: usize,
 }
 
+/// Serializable description of one factorized model — solver backend,
+/// problem size, multigrid depth and the stable content fingerprint of
+/// its inputs. A result cache persists this next to the answers the
+/// model produced, so on-disk entries remain auditable (and keyable)
+/// without holding the factorization itself.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ModelMeta {
+    /// Backend name (`"stencil-multigrid"` or `"csr-mic0"`).
+    pub solver: String,
+    /// Lateral mesh extent.
+    pub nx: usize,
+    /// Lateral mesh extent.
+    pub ny: usize,
+    /// Vertical layers.
+    pub nz: usize,
+    /// Unknowns of the linear system actually solved.
+    pub unknowns: usize,
+    /// Multigrid hierarchy depth (0 on the CSR backend).
+    pub multigrid_levels: usize,
+    /// Stable content hash of (thermal config, die outline) — matches
+    /// across processes, unlike `DefaultHasher` output.
+    pub fingerprint: u64,
+}
+
 /// The solver backend of a factorized model.
 #[derive(Debug)]
 enum Backend {
@@ -167,6 +191,36 @@ impl FactorizedThermalModel {
     /// `true` when the model runs the structured stencil path.
     pub fn is_structured(&self) -> bool {
         matches!(self.backend, Backend::Stencil(_))
+    }
+
+    /// A stable content hash of the model's inputs: the thermal
+    /// configuration fingerprint folded with the bit-exact die outline.
+    /// Identical across processes — the piece of a persistent cache key
+    /// this crate owns.
+    pub fn stable_fingerprint(&self) -> u64 {
+        let mut h = crate::sim::StableFnv::new();
+        h.write_u64(self.config.stable_fingerprint());
+        h.write_f64(self.die.llx);
+        h.write_f64(self.die.lly);
+        h.write_f64(self.die.urx);
+        h.write_f64(self.die.ury);
+        h.finish()
+    }
+
+    /// The model's serializable metadata (see [`ModelMeta`]).
+    pub fn meta(&self) -> ModelMeta {
+        ModelMeta {
+            solver: self.solver_name().to_string(),
+            nx: self.config.grid.nx,
+            ny: self.config.grid.ny,
+            nz: self.nz,
+            unknowns: self.unknowns(),
+            multigrid_levels: match &self.backend {
+                Backend::Stencil(f) => f.multigrid_levels(),
+                Backend::Csr(_) => 0,
+            },
+            fingerprint: self.stable_fingerprint(),
+        }
     }
 
     /// Grid-cell index of an active-layer bin (stencil addressing).

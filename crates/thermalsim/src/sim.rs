@@ -82,6 +82,73 @@ impl ThermalConfig {
             ..ThermalConfig::paper()
         }
     }
+
+    /// A stable content hash of everything a factorization depends on:
+    /// mesh resolution, layer stack, boundary conditions, solver backend
+    /// and tolerance.
+    ///
+    /// Unlike `std`'s default hasher this is FNV-1a with a fixed seed —
+    /// the value is identical across processes and releases, so it is
+    /// safe to persist in on-disk cache keys.
+    pub fn stable_fingerprint(&self) -> u64 {
+        let mut h = StableFnv::new();
+        h.write_usize(self.grid.nx);
+        h.write_usize(self.grid.ny);
+        h.write_f64(self.tolerance);
+        h.write_u64(match self.solver {
+            SolverKind::Auto => 0,
+            SolverKind::Stencil => 1,
+            SolverKind::Csr => 2,
+        });
+        h.write_f64(self.stack.h_bottom_w_m2k);
+        h.write_f64(self.stack.h_top_w_m2k);
+        h.write_f64(self.stack.package_resistance_k_w);
+        h.write_f64(self.stack.ambient_c);
+        h.write_usize(self.stack.active_layer());
+        for layer in self.stack.layers() {
+            h.write_f64(layer.thickness_um);
+            h.write_f64(layer.conductivity_w_mk);
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a 64-bit hasher with the standard offset basis — used
+/// for process-stable fingerprints (cache keys persisted to disk), where
+/// `DefaultHasher`'s unstable algorithm would be a liability.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StableFnv(u64);
+
+impl StableFnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        StableFnv(Self::OFFSET)
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    pub(crate) fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 impl Default for ThermalConfig {

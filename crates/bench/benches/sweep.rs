@@ -43,6 +43,15 @@
 //! run through the typed request API (`SweepGrid::requests` +
 //! `run_requests`) instead of the deprecated `run_sweep` facade.
 //!
+//! Schema version 6 adds the `solver_threads` section — the threaded
+//! slab-parallel V-cycle kernels against their own single-thread run at
+//! 128×128 and 256×256 (64/128 in smoke mode), recording the host's
+//! hardware thread count so CI can condition the speedup floor on it —
+//! plus an xlarge scenario band (256×256, 512×512, full mode,
+//! engine-only, thread budget spent inside each solve). CI gates the
+//! 256×256 speedup (≥ 2× at 4 threads, multi-core hosts only) and,
+//! unconditionally, zero bit-drift between thread counts.
+//!
 //! ```sh
 //! cargo bench -p coolplace-bench --bench sweep -- \
 //!     --smoke --threads 2 --out BENCH_sweep.json --check ci/bench-baseline.json
@@ -84,7 +93,10 @@ use thermalsim::{DeltaThermalModel, FactorizedThermalModel, SolverKind, ThermalC
 /// v5: added the `service` section (optimization-service cold vs warm
 /// batch latency with bit-identity verification); the engine legs moved
 /// from the deprecated `run_sweep` facade to the typed request API.
-const SCHEMA_VERSION: f64 = 5.0;
+/// v6: added the `solver_threads` section (threaded V-cycle kernels vs
+/// their own single-thread run, with mandatory zero bit-drift) and the
+/// xlarge scenario band (256×256, 512×512, full mode, engine-only).
+const SCHEMA_VERSION: f64 = 6.0;
 
 /// In-run agreement required between the sequential reference and the
 /// engine, in kelvin — pure solver noise, no physics.
@@ -298,6 +310,25 @@ fn run_engine(grid: &SweepGrid, threads: usize) -> Result<EngineRun, String> {
     })
 }
 
+/// The xlarge scenario band (full mode only): the 256×256 and 512×512
+/// resolutions the threaded V-cycle kernels open. One workload, one
+/// strategy — at ~600k–2.4M unknowns per solve the point is that the
+/// band completes at all, not grid coverage. Engine-only, like the
+/// large band, but run with a single engine worker and the thread
+/// budget spent *inside* each solve instead: two scenarios offer no
+/// batch parallelism worth having, while the per-solve slab kernels
+/// scale with the mesh.
+fn build_xlarge_grid(threads: usize) -> SweepGrid {
+    let mut base = FlowConfig::scattered_small().fast();
+    base.thermal.threads = threads;
+    SweepGrid::new(base)
+        .workload("concentrated", concentrated())
+        .meshes([(256, 256), (512, 512)])
+        .strategy(Strategy::UniformSlack {
+            area_overhead: 0.16,
+        })
+}
+
 /// The paper-scale die used by the solver benches.
 fn bench_die() -> Rect {
     Rect::new(0.0, 0.0, 373.5, 375.3)
@@ -420,6 +451,82 @@ fn run_solver_scaling(meshes: &[usize]) -> Result<Json, String> {
             "scaling_exponent_csr",
             scaling_exponent(&csr_points).map_or(Json::Null, Json::Num),
         ),
+    ]))
+}
+
+/// Benchmarks the stencil backend at one mesh and thread count: build,
+/// one untimed warm-up solve, then the mean of `solves` timed re-solves,
+/// plus the solved field for the bit-drift check.
+fn time_threaded(
+    nx: usize,
+    threads: usize,
+    solves: usize,
+) -> Result<(f64, usize, thermalsim::ThermalMap), String> {
+    let die = bench_die();
+    let config = ThermalConfig::with_resolution(nx, nx)
+        .with_solver(SolverKind::Stencil)
+        .with_threads(threads);
+    let power = bench_power(nx, nx, die);
+    let model = FactorizedThermalModel::build(&config, die).map_err(|e| e.to_string())?;
+    let (map, mut stats) = model.solve_with_stats(&power).map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    for _ in 0..solves {
+        let (_, s) = model.solve_with_stats(&power).map_err(|e| e.to_string())?;
+        stats = s;
+    }
+    let solve_ms = started.elapsed().as_secs_f64() * 1e3 / solves.max(1) as f64;
+    Ok((solve_ms, stats.iterations, map))
+}
+
+/// The `solver_threads` section (schema ≥ 6): the threaded slab-parallel
+/// V-cycle kernels against their own single-thread run, at the meshes
+/// the parallel band targets. The speedup is within-run (machine speed
+/// cancels out) and only meaningful on multi-core hardware, so the
+/// document records `hw_threads` and the gate conditions its floor on
+/// it. The bit-drift is unconditional: the chunked-tree reductions make
+/// every thread count produce the *same bits*, which the content-keyed
+/// result caches assume — any nonzero drift fails CI on any machine.
+fn run_solver_threads(threads: usize, smoke: bool) -> Result<Json, String> {
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Even a `--threads 1` run must exercise the threaded path.
+    let threads = threads.max(2);
+    let meshes: &[usize] = if smoke { &[64, 128] } else { &[128, 256] };
+    let mut entries = Vec::new();
+    for &nx in meshes {
+        let solves = if nx <= 128 { 3 } else { 2 };
+        let (t1_ms, t1_iters, t1_map) = time_threaded(nx, 1, solves)?;
+        let (tn_ms, tn_iters, tn_map) = time_threaded(nx, threads, solves)?;
+        let mut drift_k: f64 = 0.0;
+        for ((_, a), (_, b)) in t1_map.grid().iter().zip(tn_map.grid().iter()) {
+            drift_k = drift_k.max((a - b).abs());
+        }
+        let speedup = t1_ms / tn_ms;
+        println!(
+            "solver threads [{nx}x{nx}x9]: 1 thread {t1_ms:.2} ms/{t1_iters} its, \
+             {threads} threads {tn_ms:.2} ms/{tn_iters} its → {speedup:.2}× \
+             (drift {drift_k:.1e} K, {hw_threads} hw threads)"
+        );
+        entries.push(Json::obj([
+            (
+                "mesh",
+                Json::Arr(vec![Json::Num(nx as f64), Json::Num(nx as f64)]),
+            ),
+            ("unknowns", Json::Num((nx * nx * 9 + 1) as f64)),
+            ("timed_solves", Json::Num(solves as f64)),
+            ("t1_solve_ms", Json::Num(t1_ms)),
+            ("t1_iterations", Json::Num(t1_iters as f64)),
+            ("tn_solve_ms", Json::Num(tn_ms)),
+            ("tn_iterations", Json::Num(tn_iters as f64)),
+            ("speedup", Json::Num(speedup)),
+            ("max_drift_k", Json::Num(drift_k)),
+        ]));
+    }
+    Ok(Json::obj([
+        ("hw_threads", Json::Num(hw_threads as f64)),
+        ("threads", Json::Num(threads as f64)),
+        ("meshes", Json::Arr(entries)),
     ]))
 }
 
@@ -882,6 +989,32 @@ fn main() -> ExitCode {
         }
     };
 
+    // The xlarge band (full mode only): 256×256 and 512×512 through a
+    // single engine worker, the thread budget spent inside each solve.
+    let xlarge_results = if args.smoke {
+        Vec::new()
+    } else {
+        let xlarge_grid = build_xlarge_grid(args.threads);
+        println!(
+            "xlarge band: {} scenarios at 256x256 / 512x512, {} solver threads",
+            xlarge_grid.scenario_count(),
+            args.threads.max(1)
+        );
+        match run_engine(&xlarge_grid, 1) {
+            Ok(report) => {
+                println!(
+                    "xlarge band done in {:.0} ms across {} flows",
+                    report.wall_ms, report.flows_built
+                );
+                report.results
+            }
+            Err(e) => {
+                eprintln!("xlarge sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
     // Per-candidate latency of the delta-evaluation engine vs exact
     // re-solves on the acceptance configuration (40×40×9).
     let delta_section = match run_delta_bench() {
@@ -903,6 +1036,16 @@ fn main() -> ExitCode {
         Ok(section) => section,
         Err(e) => {
             eprintln!("solver-scaling bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Threaded kernels against their own single-thread run, with the
+    // mandatory zero-bit-drift check.
+    let solver_threads_section = match run_solver_threads(args.threads, args.smoke) {
+        Ok(section) => section,
+        Err(e) => {
+            eprintln!("solver-threads bench failed: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -962,6 +1105,13 @@ fn main() -> ExitCode {
                 .iter()
                 .map(|r| record_json(r, sweep.results.len() + r.scenario.index, "large")),
         )
+        .chain(xlarge_results.iter().map(|r| {
+            record_json(
+                r,
+                sweep.results.len() + large_results.len() + r.scenario.index,
+                "xlarge",
+            )
+        }))
         .collect();
     let doc = Json::obj([
         ("schema_version", Json::Num(SCHEMA_VERSION)),
@@ -974,6 +1124,10 @@ fn main() -> ExitCode {
             "large_scenario_count",
             Json::Num(large_results.len() as f64),
         ),
+        (
+            "xlarge_scenario_count",
+            Json::Num(xlarge_results.len() as f64),
+        ),
         ("flows_built", Json::Num(sweep.flows_built as f64)),
         ("sequential_wall_ms", Json::Num(sequential_ms)),
         ("sweep_wall_ms", Json::Num(sweep_ms)),
@@ -981,6 +1135,7 @@ fn main() -> ExitCode {
         ("max_peak_delta_c", Json::Num(max_delta_c)),
         ("delta", delta_section),
         ("solver_scaling", solver_scaling),
+        ("solver_threads", solver_threads_section),
         ("optimizer", optimizer_section),
         ("service", service_section),
         ("records", Json::Arr(records)),

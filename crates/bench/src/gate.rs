@@ -19,6 +19,11 @@
 //!   [`MIN_SERVICE_WARM_SPEEDUP`] times faster per request than their
 //!   cold solves (a within-run ratio), and no warm pass may fall back to
 //!   a cold solve.
+//! * **Threaded kernels** (schema ≥ 6) — the slab-parallel V-cycle
+//!   kernels must produce *bit-identical* fields at every thread count
+//!   (zero drift, gated on every machine), and on hosts with at least
+//!   [`MIN_THREADED_GATE_HW_THREADS`] hardware threads the 256×256
+//!   speedup must hold [`MIN_THREADED_SPEEDUP_256`].
 //!
 //! Violations come back as human-readable strings; an empty list passes.
 
@@ -68,6 +73,17 @@ pub const MIN_SERVICE_WARM_SPEEDUP: f64 = 3.0;
 /// 1e-9 relative residual, so anything past a microkelvin means one of
 /// the solvers is wrong.
 pub const STRUCTURED_DRIFT_TOLERANCE_K: f64 = 1e-6;
+
+/// Minimum speedup the threaded V-cycle kernels must hold over their
+/// own single-thread run at 256×256×9 (schema ≥ 6) — enforced only
+/// when the run recorded at least [`MIN_THREADED_GATE_HW_THREADS`]
+/// hardware threads *and* actually ran that many solver threads; a
+/// single-core CI container can measure bit-drift but not parallelism.
+pub const MIN_THREADED_SPEEDUP_256: f64 = 2.0;
+
+/// Hardware-thread floor below which the threaded-speedup gate is
+/// skipped (the drift gate never is).
+pub const MIN_THREADED_GATE_HW_THREADS: f64 = 4.0;
 
 fn record_key(record: &Json) -> Option<String> {
     let workload = record.get("workload")?.as_str()?;
@@ -165,8 +181,92 @@ pub fn check_against_baseline(
 
     failures.extend(check_delta_section(current, baseline));
     failures.extend(check_solver_scaling_section(current, baseline));
+    failures.extend(check_solver_threads_section(current, baseline));
     failures.extend(check_optimizer_section(current, baseline));
     failures.extend(check_service_section(current, baseline));
+    failures
+}
+
+/// Validates the threaded-kernel section (schema ≥ 6) on two axes of
+/// very different severity:
+///
+/// * **Bit-drift** — every benched mesh must report *exactly* zero
+///   drift between the single-thread and N-thread solves, on every
+///   machine. The chunked-tree reductions are designed to make thread
+///   count invisible to the bits; the content-keyed result caches
+///   assume it, so any nonzero drift is a correctness bug, not noise.
+/// * **Speedup** — the 256×256 entry must hold
+///   [`MIN_THREADED_SPEEDUP_256`], but only when the run both recorded
+///   ≥ [`MIN_THREADED_GATE_HW_THREADS`] hardware threads and ran that
+///   many solver threads; on smaller hosts the measurement is
+///   oversubscription, not parallelism.
+fn check_solver_threads_section(current: &Json, baseline: &Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some(section) = current.get("solver_threads") else {
+        if baseline.get("solver_threads").is_some() {
+            failures.push("`solver_threads` section missing from this run".to_string());
+        }
+        return failures;
+    };
+    let Some(meshes) = section.get("meshes").and_then(Json::as_arr) else {
+        failures.push("section `solver_threads` is missing key `meshes`".to_string());
+        return failures;
+    };
+    for entry in meshes {
+        let nx = entry
+            .get("mesh")
+            .and_then(Json::as_arr)
+            .and_then(|m| m.first())
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        match entry.require_f64(&format!("solver_threads.meshes[{nx}x{nx}]"), "max_drift_k") {
+            // lint: allow(float-eq, reason = "the threaded solver promises bit-identity; the only acceptable drift is exactly zero")
+            Ok(drift) if drift != 0.0 => failures.push(format!(
+                "threaded solve drifted {drift:.2e} K from the single-thread \
+                 solve at {nx}x{nx}x9 — thread count must be invisible to the bits"
+            )),
+            Ok(_) => {}
+            Err(e) => failures.push(e),
+        }
+    }
+    let hw = section.get("hw_threads").and_then(Json::as_f64);
+    let ran = section.get("threads").and_then(Json::as_f64);
+    let gate_speedup = hw.is_some_and(|hw| hw >= MIN_THREADED_GATE_HW_THREADS)
+        && ran.is_some_and(|t| t >= MIN_THREADED_GATE_HW_THREADS);
+    if gate_speedup {
+        let entry_256 = meshes.iter().find(|entry| {
+            entry
+                .get("mesh")
+                .and_then(Json::as_arr)
+                .and_then(|m| m.first())
+                .and_then(Json::as_f64)
+                == Some(256.0)
+        });
+        let Some(entry) = entry_256 else {
+            // Smoke runs stop at 128×128 by design; only a full run may
+            // not silently drop the gated configuration.
+            if current.get("mode").and_then(Json::as_str) == Some("full") {
+                failures.push(
+                    "section `solver_threads.meshes` has no 256×256 entry \
+                     in a full run on a multi-core host (the gated \
+                     configuration)"
+                        .to_string(),
+                );
+            }
+            return failures;
+        };
+        match entry.require_f64("solver_threads.meshes[256x256]", "speedup") {
+            Ok(speedup) if speedup < MIN_THREADED_SPEEDUP_256 => failures.push(format!(
+                "threaded kernels reach only {speedup:.2}× at 256×256×9 with \
+                 {t:.0} threads on {h:.0} hardware threads \
+                 (floor {MIN_THREADED_SPEEDUP_256}×)",
+                t = ran.unwrap_or(0.0),
+                h = hw.unwrap_or(0.0),
+            )),
+            Ok(_) => {}
+            Err(e) => failures.push(e),
+        }
+    }
     failures
 }
 
@@ -489,6 +589,127 @@ mod tests {
         );
         // Pre-v3 documents (no section on either side) still pass.
         assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
+    }
+
+    fn with_solver_threads(mut doc: Json, hw: f64, ran: f64, speedup_256: f64, drift: f64) -> Json {
+        let Json::Obj(pairs) = &mut doc else {
+            unreachable!()
+        };
+        pairs.push(("mode".to_string(), Json::Str("full".to_string())));
+        pairs.push((
+            "solver_threads".to_string(),
+            Json::obj([
+                ("hw_threads", Json::Num(hw)),
+                ("threads", Json::Num(ran)),
+                (
+                    "meshes",
+                    Json::Arr(vec![
+                        Json::obj([
+                            ("mesh", Json::Arr(vec![Json::Num(128.0), Json::Num(128.0)])),
+                            ("speedup", Json::Num(1.8)),
+                            ("max_drift_k", Json::Num(0.0)),
+                        ]),
+                        Json::obj([
+                            ("mesh", Json::Arr(vec![Json::Num(256.0), Json::Num(256.0)])),
+                            ("speedup", Json::Num(speedup_256)),
+                            ("max_drift_k", Json::Num(drift)),
+                        ]),
+                    ]),
+                ),
+            ]),
+        ));
+        doc
+    }
+
+    #[test]
+    fn threaded_gate_rejects_any_bit_drift_on_any_host() {
+        let base = with_solver_threads(doc(3.0, 81.5), 8.0, 4.0, 2.6, 0.0);
+        // A single-core host: the speedup floor is waived, the drift
+        // gate is not.
+        let single_core_ok = with_solver_threads(doc(3.0, 81.5), 1.0, 2.0, 0.9, 0.0);
+        assert!(check_against_baseline(&single_core_ok, &base, 0.25, 0.2).is_empty());
+        let drifty = with_solver_threads(doc(3.0, 81.5), 1.0, 2.0, 0.9, 1e-15);
+        let failures = check_against_baseline(&drifty, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("invisible to the bits")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn threaded_gate_enforces_the_speedup_floor_only_on_multicore_hosts() {
+        let base = with_solver_threads(doc(3.0, 81.5), 8.0, 4.0, 2.6, 0.0);
+        // Healthy multi-core run passes.
+        let good = with_solver_threads(doc(3.0, 81.5), 8.0, 4.0, 2.3, 0.0);
+        assert!(check_against_baseline(&good, &base, 0.25, 0.2).is_empty());
+        // Multi-core host under the floor fails.
+        let slow = with_solver_threads(doc(3.0, 81.5), 8.0, 4.0, 1.3, 0.0);
+        let failures = check_against_baseline(&slow, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("floor 2×")),
+            "{failures:?}"
+        );
+        // The same measurement on a single-core host is skipped.
+        let single = with_solver_threads(doc(3.0, 81.5), 1.0, 4.0, 1.3, 0.0);
+        assert!(check_against_baseline(&single, &base, 0.25, 0.2).is_empty());
+        // ...as is a multi-core run that only used 2 solver threads.
+        let underthreaded = with_solver_threads(doc(3.0, 81.5), 8.0, 2.0, 1.3, 0.0);
+        assert!(check_against_baseline(&underthreaded, &base, 0.25, 0.2).is_empty());
+        // Dropping the section entirely (when the baseline has it) fails.
+        let failures = check_against_baseline(&doc(3.0, 81.5), &base, 0.25, 0.2);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("`solver_threads` section missing")),
+            "{failures:?}"
+        );
+        // Pre-v6 documents (no section on either side) still pass.
+        assert!(check_against_baseline(&doc(3.0, 81.5), &doc(3.0, 81.5), 0.25, 0.2).is_empty());
+    }
+
+    #[test]
+    fn threaded_gate_requires_the_256_entry_only_in_full_mode() {
+        let base = with_solver_threads(doc(3.0, 81.5), 8.0, 4.0, 2.6, 0.0);
+        let strip_256 = |mut d: Json, mode: &str| {
+            let Json::Obj(pairs) = &mut d else {
+                unreachable!()
+            };
+            for (k, v) in pairs.iter_mut() {
+                if k == "mode" {
+                    *v = Json::Str(mode.to_string());
+                }
+                if k == "solver_threads" {
+                    let Json::Obj(section) = v else {
+                        unreachable!()
+                    };
+                    for (sk, sv) in section.iter_mut() {
+                        if sk == "meshes" {
+                            let Json::Arr(meshes) = sv else {
+                                unreachable!()
+                            };
+                            meshes.truncate(1);
+                        }
+                    }
+                }
+            }
+            d
+        };
+        // A full run on a multi-core host may not drop the gated mesh...
+        let hollow = strip_256(
+            with_solver_threads(doc(3.0, 81.5), 8.0, 4.0, 2.6, 0.0),
+            "full",
+        );
+        let failures = check_against_baseline(&hollow, &base, 0.25, 0.2);
+        assert!(
+            failures.iter().any(|f| f.contains("no 256×256 entry")),
+            "{failures:?}"
+        );
+        // ...but a smoke run stops at 128×128 by design.
+        let smoke = strip_256(
+            with_solver_threads(doc(3.0, 81.5), 8.0, 4.0, 2.6, 0.0),
+            "smoke",
+        );
+        assert!(check_against_baseline(&smoke, &base, 0.25, 0.2).is_empty());
     }
 
     fn with_optimizer(mut doc: Json, screened: f64, exact: f64, points: usize) -> Json {

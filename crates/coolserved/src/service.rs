@@ -40,17 +40,27 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Root of the on-disk result tier; `None` disables persistence.
     pub disk_root: Option<PathBuf>,
+    /// Solver threads per job. Zero means auto: divide the machine's
+    /// available parallelism across the worker pool,
+    /// `max(1, available_parallelism / workers)`, so workers × solver
+    /// threads never oversubscribes the host. The resolved value is
+    /// written into the base configuration before serving; a request
+    /// carrying its own `solver_threads` still overrides it. Thread
+    /// count is a latency knob only — answers are bit-identical at any
+    /// setting, so cached results stay valid across it.
+    pub solver_threads: usize,
 }
 
 impl ServiceConfig {
     /// A service over `base` with two workers, a 256-entry memory
-    /// tier, and no disk tier.
+    /// tier, no disk tier, and auto solver threading.
     pub fn new(base: FlowConfig) -> ServiceConfig {
         ServiceConfig {
             base,
             workers: 2,
             cache_capacity: 256,
             disk_root: None,
+            solver_threads: 0,
         }
     }
 
@@ -69,6 +79,12 @@ impl ServiceConfig {
     /// Attaches a persistent disk tier rooted at `root`.
     pub fn disk_root(mut self, root: impl Into<PathBuf>) -> Self {
         self.disk_root = Some(root.into());
+        self
+    }
+
+    /// Sets the per-job solver-thread count; zero restores auto mode.
+    pub fn solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads;
         self
     }
 }
@@ -240,7 +256,13 @@ fn execute(
 ) -> Result<JobRecord, ServiceError> {
     let started = Instant::now();
     let resolved = request.resolve_config(&shared.base);
-    let fingerprint = config_fingerprint(&resolved);
+    // `config_fingerprint` deliberately excludes the thread knob (it
+    // cannot change results), but a Flow bakes its thread count into
+    // the factorized solver — so flows resolved at different thread
+    // counts must not share a cache slot. Mix the normalized count
+    // into the flow key; the result-store key is untouched.
+    let fingerprint = config_fingerprint(&resolved)
+        ^ (resolved.thermal.threads.max(1) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let flow = shared.flows.get_or_compute(fingerprint, || {
         let flow = Flow::new(resolved)?;
         flow.prime_baseline()?;
@@ -303,8 +325,20 @@ fn worker_loop(shared: &Shared) {
 /// drains. Every submitted job has a terminal state when this returns.
 pub fn serve<R>(config: ServiceConfig, client: impl FnOnce(&ServiceHandle<'_>) -> R) -> R {
     let workers = config.workers.max(1);
+    let solver_threads = if config.solver_threads == 0 {
+        // Auto: split the machine across the worker pool so workers ×
+        // solver threads never exceeds the hardware.
+        let hw = std::thread::available_parallelism()
+            .map(|hw| hw.get())
+            .unwrap_or(1);
+        (hw / workers).max(1)
+    } else {
+        config.solver_threads
+    };
+    let mut base = config.base;
+    base.thermal.threads = solver_threads;
     let shared = Shared {
-        base: config.base,
+        base,
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
         jobs: Mutex::new(HashMap::new()),

@@ -215,26 +215,32 @@ fn goal_from_json(value: &Json) -> Result<OptimizeGoal, ServiceError> {
     }
 }
 
-/// [`OptimizeRequest`] → JSON.
+/// [`OptimizeRequest`] → JSON. `solver_threads` is emitted only when
+/// set, so documents written before the knob existed render
+/// byte-identically to ones written now without it.
 pub fn request_to_json(request: &OptimizeRequest) -> Json {
-    Json::obj([
-        ("workload", workload_to_json(&request.workload)),
+    let mut members = vec![
+        ("workload".to_string(), workload_to_json(&request.workload)),
         (
-            "mesh",
+            "mesh".to_string(),
             Json::Arr(vec![
                 Json::Num(request.mesh.0 as f64),
                 Json::Num(request.mesh.1 as f64),
             ]),
         ),
-        ("goal", goal_to_json(&request.goal)),
+        ("goal".to_string(), goal_to_json(&request.goal)),
         (
-            "tag",
+            "tag".to_string(),
             match &request.tag {
                 Some(tag) => Json::Str(tag.clone()),
                 None => Json::Null,
             },
         ),
-    ])
+    ];
+    if let Some(threads) = request.solver_threads {
+        members.push(("solver_threads".to_string(), Json::Num(threads as f64)));
+    }
+    Json::Obj(members)
 }
 
 /// JSON → [`OptimizeRequest`].
@@ -262,11 +268,18 @@ pub fn request_from_json(value: &Json) -> Result<OptimizeRequest, ServiceError> 
             ))
         }
     };
+    // Absent or null means "inherit the service default": documents
+    // written before the knob existed must keep decoding.
+    let solver_threads = match value.get("solver_threads") {
+        None | Some(Json::Null) => None,
+        Some(_) => Some(member_usize(value, "request", "solver_threads")?),
+    };
     Ok(OptimizeRequest {
         workload: workload_from_json(member(value, "request", "workload")?)?,
         mesh: (dim(nx, "nx")?, dim(ny, "ny")?),
         goal: goal_from_json(member(value, "request", "goal")?)?,
         tag,
+        solver_threads,
     })
 }
 
@@ -574,6 +587,7 @@ mod tests {
                 area_overhead: 0.1,
             })
             .tag("wire-test")
+            .solver_threads(3)
             .build()
             .unwrap()
     }
@@ -611,6 +625,21 @@ mod tests {
             let back = request_from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(goal, back, "request must survive the wire");
         }
+    }
+
+    #[test]
+    fn requests_without_solver_threads_still_decode() {
+        // A document written before the knob existed: no key at all.
+        let mut request = sample_request();
+        request.solver_threads = None;
+        let text = request_to_json(&request).render();
+        assert!(
+            !text.contains("solver_threads"),
+            "an unset knob must not appear on the wire: {text}"
+        );
+        let back = request_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.solver_threads, None);
+        assert_eq!(request, back);
     }
 
     #[test]

@@ -195,6 +195,41 @@ fn concurrent_clients_get_bit_identical_warm_answers() {
 }
 
 #[test]
+fn solver_thread_overrides_reuse_the_result_cache() {
+    let plain = OptimizeRequest::builder()
+        .workload(WorkloadSpec::clustered_hotspot())
+        .mesh(16, 16)
+        .strategy(Strategy::UniformSlack {
+            area_overhead: 0.12,
+        })
+        .build()
+        .unwrap();
+    let mut threaded = plain.clone();
+    threaded.solver_threads = Some(2);
+
+    let config = ServiceConfig::new(base()).workers(1).solver_threads(1);
+    let (a, b, stats) = serve(config, |service| {
+        let first = service.submit(plain.clone());
+        let a = service.wait(first).unwrap();
+        let second = service.submit(threaded.clone());
+        let b = service.wait(second).unwrap();
+        (a, b, service.stats())
+    });
+    // Thread count is a latency knob: the key and the answer are the
+    // same, so the override is served warm from the result store...
+    assert_eq!(a.key, b.key, "thread count must not move the cache key");
+    assert_same_response(&a.response, &b.response);
+    assert_eq!(stats.cold_solves, 1);
+    assert_eq!(b.source, ResultSource::MemoryCache);
+    // ...but a flow bakes its thread count into the factorization, so
+    // the two requests must not share one.
+    assert_eq!(
+        stats.flows_built, 2,
+        "distinct thread counts need distinct flows"
+    );
+}
+
+#[test]
 fn results_persist_across_service_restarts() {
     let root = scratch_dir("persist");
     let _ = std::fs::remove_dir_all(&root);
@@ -274,6 +309,7 @@ fn unknown_jobs_and_failures_surface_typed_errors() {
                 id: "warp-drive:9".to_string(),
             },
             tag: None,
+            solver_threads: None,
         };
         let id = service.submit(bad);
         let err = service.wait(id).unwrap_err();

@@ -231,6 +231,13 @@ pub struct OptimizeRequest {
     pub goal: OptimizeGoal,
     /// Display label for logs and reports; never part of the cache key.
     pub tag: Option<String>,
+    /// Solver worker threads for this request's thermal solves
+    /// (`None` = inherit the base config / service default). Solves are
+    /// bit-identical at any thread count, so this knob — like `tag` —
+    /// is never part of the cache key; requests differing only in
+    /// `solver_threads` dedup onto the same cached result.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub solver_threads: Option<usize>,
 }
 
 impl OptimizeRequest {
@@ -269,6 +276,9 @@ impl OptimizeRequest {
             nx: self.mesh.0,
             ny: self.mesh.1,
         };
+        if let Some(threads) = self.solver_threads {
+            config.thermal.threads = threads;
+        }
         config
     }
 }
@@ -281,6 +291,7 @@ pub struct OptimizeRequestBuilder {
     mesh: Option<(usize, usize)>,
     goal: Option<OptimizeGoal>,
     tag: Option<String>,
+    solver_threads: Option<usize>,
 }
 
 impl OptimizeRequestBuilder {
@@ -346,6 +357,14 @@ impl OptimizeRequestBuilder {
         self
     }
 
+    /// Optional solver thread count for this request's thermal solves
+    /// (a latency knob — never the cache key; results are bit-identical
+    /// at any thread count).
+    pub fn solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = Some(threads);
+        self
+    }
+
     /// Validates and builds the request.
     ///
     /// # Errors
@@ -378,6 +397,7 @@ impl OptimizeRequestBuilder {
             mesh,
             goal,
             tag: self.tag,
+            solver_threads: self.solver_threads,
         })
     }
 }
@@ -723,6 +743,29 @@ mod tests {
         assert_eq!(
             CacheKey::of_request(&request(), &base),
             CacheKey::of_request(&tagged, &base)
+        );
+    }
+
+    #[test]
+    fn solver_threads_do_not_perturb_the_key() {
+        // Solves are bit-identical at any thread count, so a request
+        // differing only in thread count must dedup onto the same
+        // cached result.
+        let base = FlowConfig::scattered_small().fast();
+        let mut threaded = request();
+        threaded.solver_threads = Some(4);
+        assert_eq!(
+            CacheKey::of_request(&request(), &base),
+            CacheKey::of_request(&threaded, &base)
+        );
+        assert_eq!(
+            threaded.resolve_config(&base).thermal.threads,
+            4,
+            "resolve_config applies the knob"
+        );
+        assert_eq!(
+            request().resolve_config(&base).thermal.threads,
+            base.thermal.threads
         );
     }
 

@@ -194,7 +194,9 @@ impl SweepGrid {
             .find(|(label, _)| *label == scenario.workload)
             .map(|(_, spec)| spec.clone())
             .unwrap_or_else(|| self.base.workload.clone());
-        group_config(&self.base, &spec, scenario.mesh)
+        // A replay outside the engine is serial, so the base's solver
+        // threading passes through untouched.
+        group_config(&self.base, &spec, scenario.mesh, 1)
     }
 
     /// Number of scenarios the grid expands to.
@@ -325,13 +327,28 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-fn group_config(base: &FlowConfig, workload: &WorkloadSpec, mesh: (usize, usize)) -> FlowConfig {
+/// The flow configuration one request group resolves to, with the
+/// batch-level oversubscription guard applied: when the engine already
+/// fans out across requests (`engine_threads > 1`), each individual
+/// solve degrades to a single solver thread — `workers × solver
+/// threads` would otherwise oversubscribe the machine, and because
+/// solves are bit-identical at any thread count the degradation cannot
+/// change any result.
+fn group_config(
+    base: &FlowConfig,
+    workload: &WorkloadSpec,
+    mesh: (usize, usize),
+    engine_threads: usize,
+) -> FlowConfig {
     let mut config = base.clone();
     config.workload = workload.clone();
     config.thermal.grid = GridSpec {
         nx: mesh.0,
         ny: mesh.1,
     };
+    if engine_threads > 1 {
+        config.thermal.threads = 1;
+    }
     config
 }
 
@@ -389,6 +406,13 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, FlowEr
 /// thermal models and the memoized baselines are reused across the
 /// whole batch. With `threads == 1` the batch still benefits from that
 /// reuse — thread fan-out stacks on top on multi-core machines.
+///
+/// Parallelism composes on one axis at a time: when the batch runs on
+/// more than one worker, each solve inside it is forced to a single
+/// solver thread (`base.thermal.threads` is ignored), so batch workers
+/// and solver threads never multiply into oversubscription. Run a batch
+/// with `threads == 1` to let per-solve threading through instead.
+/// Either way the numbers are bit-identical — only latency moves.
 ///
 /// # Errors
 ///
@@ -458,11 +482,12 @@ pub fn run_requests(
                     break;
                 }
                 let (spec, mesh) = &groups[gi];
-                let built = Flow::new(group_config(base, spec, *mesh)).and_then(|mut flow| {
-                    flow.set_thermal_cache(shared_cache.clone());
-                    flow.prime_baseline()?;
-                    Ok(flow)
-                });
+                let built =
+                    Flow::new(group_config(base, spec, *mesh, threads)).and_then(|mut flow| {
+                        flow.set_thermal_cache(shared_cache.clone());
+                        flow.prime_baseline()?;
+                        Ok(flow)
+                    });
                 match built {
                     Ok(flow) => {
                         *flow_slots[gi].lock().unwrap_or_else(unpoison) = Some(flow);
@@ -550,6 +575,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batches_degrade_solves_to_one_thread() {
+        // workers × solver threads must not oversubscribe: a parallel
+        // batch forces every per-solve thread count to 1, a serial batch
+        // lets the base's solver threading through untouched.
+        let mut base = FlowConfig::scattered_small().fast();
+        base.thermal.threads = 4;
+        let spec = base.workload.clone();
+        let parallel = group_config(&base, &spec, (8, 8), 2);
+        assert_eq!(parallel.thermal.threads, 1);
+        let serial = group_config(&base, &spec, (8, 8), 1);
+        assert_eq!(serial.thermal.threads, 4);
+        assert_eq!(serial.thermal.grid, GridSpec { nx: 8, ny: 8 });
+    }
+
+    #[test]
     fn grid_expansion_is_the_cartesian_product() {
         let grid = small_grid().workload(
             "booth",
@@ -593,6 +633,7 @@ mod tests {
             &grid.base,
             &grid.base.workload,
             one.results[0].scenario.mesh,
+            1,
         ))
         .unwrap();
         let direct = flow.run(one.results[0].scenario.strategy).unwrap();

@@ -12,7 +12,7 @@
 
 use crate::circuit::{Circuit, NodeId};
 use crate::mna::{dirichlet_map, reduce, ReducedSystem, SolveOptions};
-use crate::sparse::{preconditioned_cg, preconditioned_cg_block, Preconditioner};
+use crate::sparse::{preconditioned_cg, preconditioned_cg_block_grouped, Preconditioner};
 use crate::{SolveError, SolveStats};
 
 /// A circuit reduced, assembled and preconditioned once, ready to be
@@ -53,14 +53,18 @@ pub struct FactorizedCircuit {
     static_rhs: Vec<f64>,
     tolerance: f64,
     max_iterations: usize,
+    threads: usize,
 }
 
 impl Circuit {
     /// Reduces, assembles and preconditions the circuit once, for
     /// repeated solves against varying current injections.
     ///
-    /// Only `tolerance` and `max_iterations` of `options` are honoured;
-    /// the factorized path always uses the reduced sparse system.
+    /// Only `tolerance`, `max_iterations` and `threads` of `options` are
+    /// honoured; the factorized path always uses the reduced sparse
+    /// system. `threads` parallelizes the blocked (multi-RHS) solves
+    /// over lane groups — results stay bit-identical at any thread
+    /// count (see [`crate::pool`]).
     ///
     /// # Errors
     ///
@@ -86,6 +90,7 @@ impl Circuit {
             static_rhs,
             tolerance: options.tolerance,
             max_iterations: options.max_iterations.unwrap_or(20 * n_red + 100),
+            threads: crate::pool::effective_threads(options.threads),
         })
     }
 }
@@ -365,7 +370,7 @@ impl FactorizedCircuit {
         tolerance: f64,
         x0: Option<&[f64]>,
     ) -> Result<crate::sparse::BlockSolution, SolveError> {
-        preconditioned_cg_block(
+        preconditioned_cg_block_grouped(
             &self.sys.a,
             block,
             k,
@@ -373,6 +378,7 @@ impl FactorizedCircuit {
             self.max_iterations,
             &self.precond,
             x0,
+            self.threads,
         )
         .map_err(|(iterations, residual)| {
             if residual.is_infinite() {

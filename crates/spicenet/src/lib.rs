@@ -45,6 +45,7 @@ mod factor;
 mod mna;
 #[cfg(feature = "paranoid")]
 pub mod paranoid;
+pub mod pool;
 mod solution;
 mod sparse;
 mod stencil;

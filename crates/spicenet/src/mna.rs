@@ -31,6 +31,10 @@ pub struct SolveOptions {
     pub tolerance: f64,
     /// Iteration cap for the iterative path (default `20·n + 100`).
     pub max_iterations: Option<usize>,
+    /// Worker threads for the factorized solvers (`0` and `1` both mean
+    /// single-threaded). Results are bit-identical at any thread count
+    /// — see [`crate::pool`] — so this is purely a latency knob.
+    pub threads: usize,
 }
 
 impl Default for SolveOptions {
@@ -39,6 +43,7 @@ impl Default for SolveOptions {
             method: Method::Auto,
             tolerance: 1e-10,
             max_iterations: None,
+            threads: 1,
         }
     }
 }

@@ -55,8 +55,19 @@ pub fn check_residual(what: &str, iteration: usize, rel: f64) {
 /// When the residual sum exceeds the tolerance-implied bound by more
 /// than a 10× safety margin.
 pub fn check_conservation(what: &str, residual: &[f64], norm_b: f64, tol: f64) {
-    let net: f64 = residual.iter().sum();
-    let bound = 10.0 * tol * norm_b * (residual.len().max(1) as f64).sqrt();
+    check_conservation_net(what, residual.iter().sum(), residual.len(), norm_b, tol);
+}
+
+/// [`check_conservation`] for callers that have already reduced the
+/// residual to its net sum — the distributed solver computes `Σrᵢ`
+/// cooperatively across workers and cannot hand over one contiguous
+/// residual slice.
+///
+/// # Panics
+///
+/// Same as [`check_conservation`].
+pub fn check_conservation_net(what: &str, net: f64, len: usize, norm_b: f64, tol: f64) {
+    let bound = 10.0 * tol * norm_b * (len.max(1) as f64).sqrt();
     assert!(
         net.abs() <= bound,
         "paranoid: converged solve does not conserve injections in {what}: \

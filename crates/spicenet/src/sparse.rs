@@ -567,6 +567,11 @@ pub(crate) fn conjugate_gradient(
 /// preconditioner, so the CSR + incomplete-Cholesky path and the
 /// structured-stencil + multigrid path share one iteration loop.
 ///
+/// Every dot product goes through [`crate::pool::chunked_dot`], the
+/// fixed-shape reduction the threaded solvers also use — the summation
+/// tree depends only on the vector length, never on how the work is
+/// scheduled.
+///
 /// Returns `(x, iterations, relative_residual)`.
 ///
 /// # Errors
@@ -581,7 +586,7 @@ pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
     precond: &M,
 ) -> Result<(Vec<f64>, usize, f64), (usize, f64)> {
     let n = a.dim();
-    let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let norm_b = crate::pool::chunked_dot(b, b).sqrt();
     if norm_b == 0.0 {
         return Ok((vec![0.0; n], 0, 0.0));
     }
@@ -592,7 +597,7 @@ pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
     precond.precondition_into(&r, &mut z, &mut ws);
     let mut p = z.clone();
     let mut ap = vec![0.0; n];
-    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let mut rz: f64 = crate::pool::chunked_dot(&r, &z);
     if !rz.is_finite() || rz <= 0.0 {
         // rᵀM⁻¹r must be positive when M is SPD and r ≠ 0; anything else
         // (indefinite preconditioner, non-finite RHS) fails the solve
@@ -603,7 +608,7 @@ pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
         a.apply_into(&p, &mut ap);
         #[cfg(feature = "paranoid")]
         crate::paranoid::check_finite("preconditioned_cg matvec output", &ap);
-        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        let pap: f64 = crate::pool::chunked_dot(&p, &ap);
         if pap <= 0.0 {
             // Not SPD (or numerically singular).
             return Err((it, f64::INFINITY));
@@ -613,7 +618,7 @@ pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
             x[i] += alpha * p[i];
             r[i] -= alpha * ap[i];
         }
-        let norm_r = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let norm_r = crate::pool::chunked_dot(&r, &r).sqrt();
         #[cfg(feature = "paranoid")]
         crate::paranoid::check_residual("preconditioned_cg", it + 1, norm_r / norm_b);
         if norm_r / norm_b < tol {
@@ -625,7 +630,7 @@ pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
             return Ok((x, it + 1, norm_r / norm_b));
         }
         precond.precondition_into(&r, &mut z, &mut ws);
-        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let rz_new: f64 = crate::pool::chunked_dot(&r, &z);
         if !rz_new.is_finite() || rz_new <= 0.0 {
             return Err((it + 1, norm_r / norm_b));
         }
@@ -635,7 +640,7 @@ pub(crate) fn preconditioned_cg<A: LinearOperator, M: Preconditioning>(
             p[i] = z[i] + beta * p[i];
         }
     }
-    let norm_r = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let norm_r = crate::pool::chunked_dot(&r, &r).sqrt();
     Err((max_iter, norm_r / norm_b))
 }
 
@@ -850,6 +855,83 @@ pub(crate) fn preconditioned_cg_block<A: LinearOperator, M: Preconditioning>(
         .map(|((_, res), _)| *res)
         .fold(0.0f64, f64::max);
     Err((max_iter, worst))
+}
+
+/// [`preconditioned_cg_block`] threaded over contiguous **lane groups**:
+/// the `k` right-hand sides are split into at most `threads` groups and
+/// each group runs the blocked CG independently inside one scoped team.
+///
+/// The blocked iteration never mixes lanes — every matvec, sweep,
+/// transfer, dot, `α`/`β` and freeze decision is per-lane — so the
+/// grouped solve is **bit-identical** to the single-group solve lane by
+/// lane, at any thread count. With one group (or `k == 1`) this is a
+/// plain passthrough.
+///
+/// # Errors
+///
+/// The first failing group's error, in group order (each group fails
+/// exactly as the ungrouped solve over those lanes would).
+#[allow(clippy::too_many_arguments)] // mirrors preconditioned_cg_block's signature plus the thread knob
+pub(crate) fn preconditioned_cg_block_grouped<A, M>(
+    a: &A,
+    b: &[f64],
+    k: usize,
+    tol: f64,
+    max_iter: usize,
+    precond: &M,
+    x0: Option<&[f64]>,
+    threads: usize,
+) -> Result<BlockSolution, (usize, f64)>
+where
+    A: LinearOperator + Sync,
+    M: Preconditioning + Sync,
+{
+    let n = a.dim();
+    let groups = crate::pool::lane_groups(k, threads);
+    if groups.len() <= 1 {
+        return preconditioned_cg_block(a, b, k, tol, max_iter, precond, x0);
+    }
+    // Carve the node-major block into per-group sub-blocks.
+    let narrow = |src: &[f64], lo: usize, hi: usize| -> Vec<f64> {
+        let kg = hi - lo;
+        let mut sub = vec![0.0f64; n * kg];
+        for (row, sub_row) in src.chunks_exact(k).zip(sub.chunks_exact_mut(kg)) {
+            sub_row.copy_from_slice(&row[lo..hi]);
+        }
+        sub
+    };
+    // One job per lane group: (lo, hi, narrowed rhs, narrowed warm start).
+    type LaneJob = (usize, usize, Vec<f64>, Option<Vec<f64>>);
+    let jobs: Vec<LaneJob> = groups
+        .iter()
+        .map(|&(lo, hi)| {
+            (
+                lo,
+                hi,
+                narrow(b, lo, hi),
+                x0.map(|seed| narrow(seed, lo, hi)),
+            )
+        })
+        .collect();
+    let results = crate::pool::run(jobs, |_, (lo, hi, bg, x0g)| {
+        let kg = hi - lo;
+        (
+            lo,
+            hi,
+            preconditioned_cg_block(a, &bg, kg, tol, max_iter, precond, x0g.as_deref()),
+        )
+    });
+    let mut x = vec![0.0f64; n * k];
+    let mut stats = vec![(0usize, 0.0f64); k];
+    for (lo, hi, result) in results {
+        let (xg, sg) = result?;
+        let kg = hi - lo;
+        for (row, sub_row) in x.chunks_exact_mut(k).zip(xg.chunks_exact(kg)) {
+            row[lo..hi].copy_from_slice(sub_row);
+        }
+        stats[lo..hi].copy_from_slice(&sg);
+    }
+    Ok((x, stats))
 }
 
 #[cfg(test)]

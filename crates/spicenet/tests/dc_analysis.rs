@@ -80,6 +80,7 @@ fn cg_and_dense_agree_on_a_resistor_grid() {
             method: Method::ConjugateGradient,
             tolerance: 1e-12,
             max_iterations: None,
+            ..Default::default()
         })
         .unwrap();
     let lu = c

@@ -43,6 +43,7 @@ proptest! {
             method: Method::ConjugateGradient,
             tolerance: 1e-12,
             max_iterations: Some(100_000),
+            ..Default::default()
         }).unwrap();
         let lu = c.solve(SolveOptions { method: Method::DenseLu, ..Default::default() }).unwrap();
         for (a, b) in cg.voltages().iter().zip(lu.voltages()) {
@@ -93,6 +94,7 @@ proptest! {
             method: Method::ConjugateGradient,
             tolerance: 1e-13,
             max_iterations: Some(100_000),
+            ..Default::default()
         }).unwrap();
         // Internal nodes (not pinned): net resistor current == injection.
         // Resistor rs[i] connects node i-1 (or ground) to node i.

@@ -137,6 +137,7 @@ impl FactorizedThermalModel {
         let network = build_geometry(nx, ny, die, &config.stack, emit)?;
         let options = SolveOptions {
             tolerance: config.tolerance,
+            threads: config.threads,
             ..Default::default()
         };
         let backend = match config.solver {

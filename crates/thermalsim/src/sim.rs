@@ -55,6 +55,13 @@ pub struct ThermalConfig {
     /// field existed keep deserializing.
     #[serde(default)]
     pub solver: SolverKind,
+    /// Worker threads for the factorized solves (`0` and `1` both mean
+    /// single-threaded). Solver results are bit-identical at any thread
+    /// count, so this is purely a latency knob — it is deliberately
+    /// **excluded** from [`ThermalConfig::stable_fingerprint`], which
+    /// keys result caches by what a solve *computes*, not how fast.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl ThermalConfig {
@@ -65,12 +72,19 @@ impl ThermalConfig {
             stack: LayerStack::c65(),
             tolerance: 1e-9,
             solver: SolverKind::Auto,
+            threads: 0,
         }
     }
 
     /// This configuration with an explicit solver backend.
     pub fn with_solver(mut self, solver: SolverKind) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// This configuration with an explicit solver thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -85,7 +99,9 @@ impl ThermalConfig {
 
     /// A stable content hash of everything a factorization depends on:
     /// mesh resolution, layer stack, boundary conditions, solver backend
-    /// and tolerance.
+    /// and tolerance. The `threads` knob is excluded on purpose: solves
+    /// are bit-identical at any thread count, so results computed at
+    /// different thread counts must share a cache key.
     ///
     /// Unlike `std`'s default hasher this is FNV-1a with a fixed seed —
     /// the value is identical across processes and releases, so it is

@@ -1,0 +1,189 @@
+//! The injectable storage/clock seam of the disk tier.
+//!
+//! Production code never touches `std::fs` or the wall clock directly:
+//! every disk-tier operation and every time read routes through a
+//! [`StoreBackend`], so the fault-injection harness
+//! ([`crate::fault::FaultPlan`]) can fail the Nth write, corrupt a
+//! read, or stretch the clock *deterministically* — each recovery path
+//! in the service is pinned by a scheduled test, not hoped at.
+//!
+//! [`OsBackend`] is the real implementation; it is stateless and what
+//! [`crate::ServiceConfig`] uses unless a test installs a plan.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, UNIX_EPOCH};
+
+/// Everything the disk tier needs from the outside world: file I/O and
+/// time. Object-safe so a service can carry `Arc<dyn StoreBackend>`.
+pub trait StoreBackend: Send + Sync {
+    /// Reads a whole file as UTF-8 text.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Writes `contents` to `path`, creating or truncating it.
+    fn write(&self, path: &Path, contents: &str) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// The files (not directories) directly inside `dir`.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Last-modified time of `path`, milliseconds on this backend's
+    /// clock (epoch millis for the OS backend).
+    fn modified_millis(&self, path: &Path) -> io::Result<u64>;
+    /// The current time in milliseconds on this backend's clock. Only
+    /// *differences* are meaningful — deadline and age arithmetic — so
+    /// a virtual clock that starts at zero is a valid implementation.
+    fn now_millis(&self) -> u64;
+    /// Sleeps for `ms` milliseconds (retry backoff). A test backend may
+    /// advance its virtual clock instead of blocking.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The real backend: `std::fs` + the system clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsBackend;
+
+impl StoreBackend for OsBackend {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, contents: &str) -> io::Result<()> {
+        std::fs::write(path, contents)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        Ok(out)
+    }
+
+    fn modified_millis(&self, path: &Path) -> io::Result<u64> {
+        let modified = std::fs::metadata(path)?.modified()?;
+        Ok(modified
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or(Duration::ZERO)
+            .as_millis() as u64)
+    }
+
+    fn now_millis(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or(Duration::ZERO)
+            .as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Retry policy for transient disk-tier I/O: up to `max_attempts` tries
+/// with capped exponential backoff between them (`base_backoff_ms`,
+/// `2·base`, `4·base`, … clamped to `max_backoff_ms`). Backoff sleeps
+/// go through [`StoreBackend::sleep_ms`], so fault-injected tests pay
+/// no wall-clock time for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first one included. Zero is clamped to one.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff, milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms initial backoff, 200 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10,
+            max_backoff_ms: 200,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every failure is final on the first attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+        }
+    }
+
+    /// The backoff to sleep after failed attempt `attempt` (zero-based):
+    /// `base · 2^attempt`, saturating, clamped to the cap.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_backoff_ms
+            .saturating_mul(factor)
+            .min(self.max_backoff_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_ms: 10,
+            max_backoff_ms: 70,
+        };
+        assert_eq!(policy.backoff_ms(0), 10);
+        assert_eq!(policy.backoff_ms(1), 20);
+        assert_eq!(policy.backoff_ms(2), 40);
+        assert_eq!(policy.backoff_ms(3), 70, "capped");
+        assert_eq!(policy.backoff_ms(63), 70, "no overflow at large shifts");
+        assert_eq!(policy.backoff_ms(64), 70, "shift wider than u64 saturates");
+    }
+
+    #[test]
+    fn os_backend_round_trips_files() {
+        let dir = std::env::temp_dir().join(format!("coolserved-backend-{}", std::process::id()));
+        let backend = OsBackend;
+        backend.create_dir_all(&dir).unwrap();
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        backend.write(&a, "hello").unwrap();
+        assert!(backend.exists(&a));
+        assert!(backend.modified_millis(&a).unwrap() > 0);
+        backend.rename(&a, &b).unwrap();
+        assert!(!backend.exists(&a));
+        assert_eq!(backend.read_to_string(&b).unwrap(), "hello");
+        assert_eq!(backend.list_dir(&dir).unwrap(), vec![b.clone()]);
+        backend.remove_file(&b).unwrap();
+        assert!(backend.list_dir(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

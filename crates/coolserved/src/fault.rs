@@ -1,0 +1,511 @@
+//! Deterministic fault injection for the disk tier: a [`StoreBackend`]
+//! that wraps the real filesystem and fails *by schedule*.
+//!
+//! A [`FaultPlan`] carries a list of [`FaultRule`]s, each naming an
+//! operation kind, the occurrence window it covers (fail the Nth write,
+//! an EIO burst over reads 2–5, …) and what goes wrong
+//! ([`FaultKind`]): a plain error, a torn write (a truncated document
+//! reported as fully written), a corrupted read, a virtual-clock jump
+//! (`Slow` — how deadline hits are produced without wall-clock sleeps),
+//! or a real stall (`Stall` — how tests force two workers to overlap).
+//!
+//! Time on this backend is **virtual**: it starts at zero, advances by
+//! one millisecond per backend operation (so modification times are
+//! totally ordered), and jumps only on `Slow` faults, retry backoff
+//! sleeps, and explicit [`FaultPlan::advance_clock_ms`] calls. Every
+//! recovery path the service claims to have is therefore exercised by a
+//! test whose outcome is a pure function of the schedule.
+//!
+//! The plan is a test harness, but it ships compiled in (not
+//! `#[cfg(test)]`) so integration suites, downstream crates, and chaos
+//! drills against a staging service can all drive the same seam.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::backend::{OsBackend, StoreBackend};
+
+/// The operation class a [`FaultRule`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// [`StoreBackend::read_to_string`]
+    Read,
+    /// [`StoreBackend::write`]
+    Write,
+    /// [`StoreBackend::rename`]
+    Rename,
+    /// [`StoreBackend::create_dir_all`]
+    CreateDir,
+    /// [`StoreBackend::remove_file`]
+    Remove,
+    /// [`StoreBackend::list_dir`]
+    List,
+}
+
+impl FaultOp {
+    fn name(self) -> &'static str {
+        match self {
+            FaultOp::Read => "read",
+            FaultOp::Write => "write",
+            FaultOp::Rename => "rename",
+            FaultOp::CreateDir => "create-dir",
+            FaultOp::Remove => "remove",
+            FaultOp::List => "list",
+        }
+    }
+}
+
+/// What a firing rule does to the operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with an injected I/O error (an EIO stand-in).
+    Error,
+    /// A torn write: only the first `keep_bytes` bytes reach the file,
+    /// but the call reports success — the on-disk document is truncated
+    /// without anyone noticing until read time.
+    Torn {
+        /// Bytes actually written (clamped to a UTF-8 boundary).
+        keep_bytes: usize,
+    },
+    /// A corrupted read: the file's real content comes back garbled.
+    Corrupt,
+    /// The operation succeeds but the virtual clock jumps forward first
+    /// — a slow disk, as seen by deadline arithmetic, at zero test cost.
+    Slow {
+        /// Virtual milliseconds the operation appears to take.
+        advance_ms: u64,
+    },
+    /// The operation succeeds after a *real* sleep — used by tests that
+    /// need two workers to demonstrably overlap in wall-clock time.
+    Stall {
+        /// Real milliseconds to block the calling thread.
+        sleep_ms: u64,
+    },
+}
+
+/// One scheduled fault: `kind` applied to occurrences
+/// `[from_nth, from_nth + count)` of `op`, counting from 1.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRule {
+    /// Which operation class to intercept.
+    pub op: FaultOp,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First occurrence (1-based) the rule covers.
+    pub from_nth: u64,
+    /// How many consecutive occurrences it covers.
+    pub count: u64,
+}
+
+impl FaultRule {
+    fn covers(&self, nth: u64) -> bool {
+        nth >= self.from_nth && nth < self.from_nth.saturating_add(self.count)
+    }
+}
+
+/// The fault-injecting backend. Build one with the `with_*` schedule
+/// methods, wrap it in an `Arc`, and hand it to
+/// [`crate::ServiceConfig::backend`] (keep a second `Arc` to inspect
+/// [`FaultPlan::fired`] afterwards).
+pub struct FaultPlan {
+    inner: OsBackend,
+    rules: Vec<FaultRule>,
+    counts: Mutex<HashMap<FaultOp, u64>>,
+    clock_ms: AtomicU64,
+    mtimes: Mutex<HashMap<PathBuf, u64>>,
+    fired: Mutex<Vec<String>>,
+}
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults scheduled (a deterministic-clock backend).
+    pub fn new() -> FaultPlan {
+        FaultPlan {
+            inner: OsBackend,
+            rules: Vec::new(),
+            counts: Mutex::new(HashMap::new()),
+            clock_ms: AtomicU64::new(0),
+            mtimes: Mutex::new(HashMap::new()),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Adds one rule to the schedule.
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Fails the `nth` occurrence of `op` (1-based) with an I/O error.
+    pub fn with_fail(self, op: FaultOp, nth: u64) -> Self {
+        self.with_burst(op, nth, 1)
+    }
+
+    /// Fails occurrences `[from_nth, from_nth + count)` of `op` — an
+    /// EIO burst.
+    pub fn with_burst(self, op: FaultOp, from_nth: u64, count: u64) -> Self {
+        self.with_rule(FaultRule {
+            op,
+            kind: FaultKind::Error,
+            from_nth,
+            count,
+        })
+    }
+
+    /// Tears the `nth` write: only `keep_bytes` bytes land, success is
+    /// reported.
+    pub fn with_torn_write(self, nth: u64, keep_bytes: usize) -> Self {
+        self.with_rule(FaultRule {
+            op: FaultOp::Write,
+            kind: FaultKind::Torn { keep_bytes },
+            from_nth: nth,
+            count: 1,
+        })
+    }
+
+    /// Corrupts the text returned by the `nth` read.
+    pub fn with_corrupt_read(self, nth: u64) -> Self {
+        self.with_rule(FaultRule {
+            op: FaultOp::Read,
+            kind: FaultKind::Corrupt,
+            from_nth: nth,
+            count: 1,
+        })
+    }
+
+    /// Makes the `nth` occurrence of `op` appear to take `advance_ms`
+    /// virtual milliseconds.
+    pub fn with_slow(self, op: FaultOp, nth: u64, advance_ms: u64) -> Self {
+        self.with_rule(FaultRule {
+            op,
+            kind: FaultKind::Slow { advance_ms },
+            from_nth: nth,
+            count: 1,
+        })
+    }
+
+    /// Blocks the `nth` occurrence of `op` for `sleep_ms` *real*
+    /// milliseconds (still succeeding).
+    pub fn with_stall(self, op: FaultOp, nth: u64, sleep_ms: u64) -> Self {
+        self.with_rule(FaultRule {
+            op,
+            kind: FaultKind::Stall { sleep_ms },
+            from_nth: nth,
+            count: 1,
+        })
+    }
+
+    /// Jumps the virtual clock forward — how tests age documents for
+    /// TTL eviction without waiting.
+    pub fn advance_clock_ms(&self, ms: u64) {
+        self.clock_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    /// Every fault that actually fired, in order, as `"op#N: kind"`
+    /// strings — lets a test assert its schedule was exercised rather
+    /// than silently skipped.
+    pub fn fired(&self) -> Vec<String> {
+        unpoison(self.fired.lock()).clone()
+    }
+
+    /// How many operations of class `op` the plan has seen.
+    pub fn ops_seen(&self, op: FaultOp) -> u64 {
+        unpoison(self.counts.lock()).get(&op).copied().unwrap_or(0)
+    }
+
+    /// Counts the occurrence, advances the per-op virtual tick, and
+    /// returns the rule (if any) covering this occurrence.
+    fn arm(&self, op: FaultOp) -> Option<FaultRule> {
+        // Every operation costs one virtual millisecond, so write times
+        // are totally ordered even when no fault is scheduled.
+        self.clock_ms.fetch_add(1, Ordering::Relaxed);
+        let nth = {
+            let mut counts = unpoison(self.counts.lock());
+            let slot = counts.entry(op).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        let rule = self
+            .rules
+            .iter()
+            .find(|r| r.op == op && r.covers(nth))
+            .copied();
+        if let Some(rule) = rule {
+            unpoison(self.fired.lock()).push(format!("{}#{nth}: {:?}", op.name(), rule.kind));
+        }
+        rule
+    }
+
+    fn injected_error(op: FaultOp) -> io::Error {
+        io::Error::other(format!("injected fault: {} failed", op.name()))
+    }
+
+    fn stamp_mtime(&self, path: &Path) {
+        let now = self.clock_ms.load(Ordering::Relaxed);
+        unpoison(self.mtimes.lock()).insert(path.to_path_buf(), now);
+    }
+}
+
+/// Deterministically garbles text so it no longer parses as JSON but
+/// stays valid UTF-8 and recognizably "the same file gone bad".
+fn garble(text: &str) -> String {
+    let keep = text.len() / 2;
+    let mut cut = keep.min(text.len());
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}\u{fffd}#CORRUPT#", &text[..cut])
+}
+
+/// Truncates to at most `keep` bytes on a UTF-8 boundary.
+fn torn_prefix(text: &str, keep: usize) -> &str {
+    let mut cut = keep.min(text.len());
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &text[..cut]
+}
+
+impl StoreBackend for FaultPlan {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        match self.arm(FaultOp::Read) {
+            Some(FaultRule {
+                kind: FaultKind::Error,
+                ..
+            }) => Err(Self::injected_error(FaultOp::Read)),
+            Some(FaultRule {
+                kind: FaultKind::Corrupt,
+                ..
+            }) => Ok(garble(&self.inner.read_to_string(path)?)),
+            Some(FaultRule {
+                kind: FaultKind::Slow { advance_ms },
+                ..
+            }) => {
+                self.advance_clock_ms(advance_ms);
+                self.inner.read_to_string(path)
+            }
+            Some(FaultRule {
+                kind: FaultKind::Stall { sleep_ms },
+                ..
+            }) => {
+                self.inner.sleep_ms(sleep_ms);
+                self.inner.read_to_string(path)
+            }
+            Some(FaultRule {
+                kind: FaultKind::Torn { .. },
+                ..
+            })
+            | None => self.inner.read_to_string(path),
+        }
+    }
+
+    fn write(&self, path: &Path, contents: &str) -> io::Result<()> {
+        let rule = self.arm(FaultOp::Write);
+        match rule {
+            Some(FaultRule {
+                kind: FaultKind::Error,
+                ..
+            }) => return Err(Self::injected_error(FaultOp::Write)),
+            Some(FaultRule {
+                kind: FaultKind::Torn { keep_bytes },
+                ..
+            }) => {
+                // The lie at the heart of a torn write: partial bytes
+                // land, success is reported.
+                self.inner.write(path, torn_prefix(contents, keep_bytes))?;
+                self.stamp_mtime(path);
+                return Ok(());
+            }
+            Some(FaultRule {
+                kind: FaultKind::Slow { advance_ms },
+                ..
+            }) => self.advance_clock_ms(advance_ms),
+            Some(FaultRule {
+                kind: FaultKind::Stall { sleep_ms },
+                ..
+            }) => self.inner.sleep_ms(sleep_ms),
+            Some(FaultRule {
+                kind: FaultKind::Corrupt,
+                ..
+            })
+            | None => {}
+        }
+        self.inner.write(path, contents)?;
+        self.stamp_mtime(path);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.arm(FaultOp::Rename) {
+            Some(FaultRule {
+                kind: FaultKind::Error,
+                ..
+            }) => return Err(Self::injected_error(FaultOp::Rename)),
+            Some(FaultRule {
+                kind: FaultKind::Slow { advance_ms },
+                ..
+            }) => self.advance_clock_ms(advance_ms),
+            Some(FaultRule {
+                kind: FaultKind::Stall { sleep_ms },
+                ..
+            }) => self.inner.sleep_ms(sleep_ms),
+            _ => {}
+        }
+        self.inner.rename(from, to)?;
+        let mut mtimes = unpoison(self.mtimes.lock());
+        let stamp = mtimes
+            .remove(from)
+            .unwrap_or_else(|| self.clock_ms.load(Ordering::Relaxed));
+        mtimes.insert(to.to_path_buf(), stamp);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        match self.arm(FaultOp::CreateDir) {
+            Some(FaultRule {
+                kind: FaultKind::Error,
+                ..
+            }) => Err(Self::injected_error(FaultOp::CreateDir)),
+            _ => self.inner.create_dir_all(dir),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.arm(FaultOp::Remove) {
+            Some(FaultRule {
+                kind: FaultKind::Error,
+                ..
+            }) => Err(Self::injected_error(FaultOp::Remove)),
+            _ => {
+                self.inner.remove_file(path)?;
+                unpoison(self.mtimes.lock()).remove(path);
+                Ok(())
+            }
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        match self.arm(FaultOp::List) {
+            Some(FaultRule {
+                kind: FaultKind::Error,
+                ..
+            }) => Err(Self::injected_error(FaultOp::List)),
+            _ => self.inner.list_dir(dir),
+        }
+    }
+
+    fn modified_millis(&self, path: &Path) -> io::Result<u64> {
+        if !self.inner.exists(path) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{}: no such file", path.display()),
+            ));
+        }
+        // Files this plan never wrote (pre-existing documents) read as
+        // time zero: infinitely old on the virtual clock.
+        Ok(unpoison(self.mtimes.lock()).get(path).copied().unwrap_or(0))
+    }
+
+    fn now_millis(&self) -> u64 {
+        self.clock_ms.load(Ordering::Relaxed)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        // Retry backoff costs virtual time only — a fault-matrix run
+        // with hundreds of scheduled retries still finishes instantly.
+        self.advance_clock_ms(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("coolserved-fault-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn rules_fire_on_schedule_and_are_logged() {
+        let dir = scratch("schedule");
+        let plan = FaultPlan::new()
+            .with_fail(FaultOp::Write, 2)
+            .with_corrupt_read(1);
+        let path = dir.join("doc.json");
+        plan.write(&path, "{\"a\": 1}").unwrap();
+        assert!(plan.write(&path, "again").is_err(), "2nd write must fail");
+        plan.write(&path, "{\"a\": 1}").unwrap();
+        let garbled = plan.read_to_string(&path).unwrap();
+        assert!(garbled.contains("#CORRUPT#"));
+        assert_eq!(plan.read_to_string(&path).unwrap(), "{\"a\": 1}");
+        assert_eq!(plan.ops_seen(FaultOp::Write), 3);
+        assert_eq!(plan.ops_seen(FaultOp::Read), 2);
+        assert_eq!(plan.fired().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_writes_truncate_but_report_success() {
+        let dir = scratch("torn");
+        let plan = FaultPlan::new().with_torn_write(1, 4);
+        let path = dir.join("doc.json");
+        plan.write(&path, "0123456789").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "0123");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn the_clock_is_virtual_and_ordered_by_ops() {
+        let dir = scratch("clock");
+        let plan = FaultPlan::new().with_slow(FaultOp::Read, 1, 500);
+        let a = dir.join("a");
+        let b = dir.join("b");
+        plan.write(&a, "x").unwrap();
+        plan.write(&b, "y").unwrap();
+        let (ta, tb) = (
+            plan.modified_millis(&a).unwrap(),
+            plan.modified_millis(&b).unwrap(),
+        );
+        assert!(ta < tb, "write order must order mtimes ({ta} vs {tb})");
+        let before = plan.now_millis();
+        plan.read_to_string(&a).unwrap();
+        assert!(
+            plan.now_millis() >= before + 500,
+            "slow read must advance the clock"
+        );
+        plan.sleep_ms(250);
+        assert!(plan.now_millis() >= before + 750, "backoff is virtual too");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garble_never_panics_on_multibyte_text() {
+        for text in ["", "é", "héllo wörld", "{\"k\": \"véry lóng téxt\"}"] {
+            let bad = garble(text);
+            assert!(bad.contains("#CORRUPT#"));
+        }
+        assert_eq!(torn_prefix("héllo", 3), "h\u{e9}");
+    }
+}

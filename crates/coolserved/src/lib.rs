@@ -18,6 +18,16 @@
 //!   in-memory LRU over an on-disk JSON directory keyed by
 //!   [`postplace::CacheKey`] — a stable content hash, so a second
 //!   process (or a run next week) reuses last week's solves.
+//! * **Fault tolerance by construction.** All disk I/O and time reads
+//!   route through the [`backend::StoreBackend`] seam, so the
+//!   deterministic [`fault::FaultPlan`] harness can fail the Nth write,
+//!   corrupt a read, or stretch the clock in tests. On top of the seam:
+//!   retry with capped backoff ([`backend::RetryPolicy`]), corrupt
+//!   document quarantine, single-flight request deduplication, per-job
+//!   deadlines, graceful degradation to memory-only mode
+//!   ([`DiskHealth`]), and compare-and-swap disk writes safe across
+//!   processes. Errors carry an [`ErrorClass`] and answer
+//!   [`ServiceError::is_retryable`].
 //!
 //! ```no_run
 //! use coolserved::{serve, ServiceConfig};
@@ -39,6 +49,8 @@
 //! println!("{} via {}", record.key, record.source);
 //! ```
 
+pub mod backend;
+pub mod fault;
 pub mod json;
 
 mod error;
@@ -46,6 +58,8 @@ mod service;
 mod store;
 pub mod wire;
 
-pub use error::ServiceError;
+pub use backend::{OsBackend, RetryPolicy, StoreBackend};
+pub use error::{ErrorClass, ServiceError};
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRule};
 pub use service::{serve, JobRecord, JobStatus, ServiceConfig, ServiceHandle, ServiceStats};
-pub use store::{ResultSource, ResultStore, StoreStats, STORE_NAMESPACE};
+pub use store::{DiskHealth, DiskOptions, ResultSource, ResultStore, StoreStats, STORE_NAMESPACE};

@@ -215,9 +215,9 @@ fn goal_from_json(value: &Json) -> Result<OptimizeGoal, ServiceError> {
     }
 }
 
-/// [`OptimizeRequest`] → JSON. `solver_threads` is emitted only when
-/// set, so documents written before the knob existed render
-/// byte-identically to ones written now without it.
+/// [`OptimizeRequest`] → JSON. `solver_threads` and `deadline_ms` are
+/// emitted only when set, so documents written before either knob
+/// existed render byte-identically to ones written now without them.
 pub fn request_to_json(request: &OptimizeRequest) -> Json {
     let mut members = vec![
         ("workload".to_string(), workload_to_json(&request.workload)),
@@ -239,6 +239,9 @@ pub fn request_to_json(request: &OptimizeRequest) -> Json {
     ];
     if let Some(threads) = request.solver_threads {
         members.push(("solver_threads".to_string(), Json::Num(threads as f64)));
+    }
+    if let Some(deadline_ms) = request.deadline_ms {
+        members.push(("deadline_ms".to_string(), Json::Num(deadline_ms as f64)));
     }
     Json::Obj(members)
 }
@@ -274,12 +277,17 @@ pub fn request_from_json(value: &Json) -> Result<OptimizeRequest, ServiceError> 
         None | Some(Json::Null) => None,
         Some(_) => Some(member_usize(value, "request", "solver_threads")?),
     };
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(_) => Some(member_usize(value, "request", "deadline_ms")? as u64),
+    };
     Ok(OptimizeRequest {
         workload: workload_from_json(member(value, "request", "workload")?)?,
         mesh: (dim(nx, "nx")?, dim(ny, "ny")?),
         goal: goal_from_json(member(value, "request", "goal")?)?,
         tag,
         solver_threads,
+        deadline_ms,
     })
 }
 
@@ -640,6 +648,25 @@ mod tests {
         let back = request_from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.solver_threads, None);
         assert_eq!(request, back);
+    }
+
+    #[test]
+    fn deadlines_ride_the_wire_only_when_set() {
+        let mut request = sample_request();
+        request.deadline_ms = Some(750);
+        let text = request_to_json(&request).render();
+        assert!(text.contains("\"deadline_ms\": 750"), "{text}");
+        let back = request_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.deadline_ms, Some(750));
+        assert_eq!(request, back);
+        request.deadline_ms = None;
+        let text = request_to_json(&request).render();
+        assert!(
+            !text.contains("deadline_ms"),
+            "an unset deadline must not appear on the wire: {text}"
+        );
+        let back = request_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.deadline_ms, None);
     }
 
     #[test]

@@ -178,16 +178,15 @@ fn concurrent_clients_get_bit_identical_warm_answers() {
             assert_same_response(responses[0], other);
         }
     }
-    // The cache must actually have fired: 16 jobs, only a handful of
-    // cold solves (double-compute on a race is tolerated, full
-    // recompute is not).
+    // The cache must actually have fired: 16 jobs, exactly one cold
+    // solve per distinct key — single-flight dedup makes concurrent
+    // same-key races share one solve instead of double-computing.
     assert_eq!(stats.submitted, 16);
     assert_eq!(stats.completed, 16);
     assert_eq!(stats.failed, 0);
-    assert!(
-        stats.cold_solves >= 4 && stats.cold_solves <= 12,
-        "expected mostly-warm service, got {} cold solves",
-        stats.cold_solves
+    assert_eq!(
+        stats.cold_solves, 4,
+        "single-flight must hold cold solves to one per key"
     );
     assert!(stats.store.memory.hits > 0, "memory tier never hit");
     let sources: HashSet<ResultSource> = records.iter().map(|r| r.source).collect();
@@ -310,6 +309,7 @@ fn unknown_jobs_and_failures_surface_typed_errors() {
             },
             tag: None,
             solver_threads: None,
+            deadline_ms: None,
         };
         let id = service.submit(bad);
         let err = service.wait(id).unwrap_err();
@@ -317,6 +317,10 @@ fn unknown_jobs_and_failures_surface_typed_errors() {
             matches!(&err, coolserved::ServiceError::Job { .. }),
             "expected a job error, got {err}"
         );
+        // The structured kind crosses the job table: a flow failure is
+        // permanent, not retryable.
+        assert_eq!(err.class(), coolserved::ErrorClass::Flow);
+        assert!(!err.is_retryable());
         assert_eq!(service.status(id).unwrap(), JobStatus::Failed);
 
         // The service keeps serving afterwards.

@@ -238,6 +238,15 @@ pub struct OptimizeRequest {
     /// `solver_threads` dedup onto the same cached result.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub solver_threads: Option<usize>,
+    /// Wall-clock budget for this job, milliseconds (`None` = no
+    /// deadline). A service worker checks the budget at tier boundaries
+    /// (flow build, cache lookup, before a cold solve) and fails the
+    /// job with a typed timeout instead of running past it. Like
+    /// `solver_threads` this is a latency/QoS knob: a *completed*
+    /// answer is identical with or without it, so it is never part of
+    /// the cache key.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
 }
 
 impl OptimizeRequest {
@@ -292,6 +301,7 @@ pub struct OptimizeRequestBuilder {
     goal: Option<OptimizeGoal>,
     tag: Option<String>,
     solver_threads: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 impl OptimizeRequestBuilder {
@@ -365,6 +375,14 @@ impl OptimizeRequestBuilder {
         self
     }
 
+    /// Optional wall-clock budget in milliseconds (a QoS knob — never
+    /// the cache key; a completed answer is identical with or without
+    /// it, a blown budget surfaces as a typed timeout).
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
     /// Validates and builds the request.
     ///
     /// # Errors
@@ -398,6 +416,7 @@ impl OptimizeRequestBuilder {
             goal,
             tag: self.tag,
             solver_threads: self.solver_threads,
+            deadline_ms: self.deadline_ms,
         })
     }
 }
@@ -766,6 +785,20 @@ mod tests {
         assert_eq!(
             request().resolve_config(&base).thermal.threads,
             base.thermal.threads
+        );
+    }
+
+    #[test]
+    fn deadline_does_not_perturb_the_key() {
+        // A deadline changes *whether* an answer arrives in time, never
+        // what the answer is — so a deadlined request must share the
+        // cached result of its unbounded twin.
+        let base = FlowConfig::scattered_small().fast();
+        let mut bounded = request();
+        bounded.deadline_ms = Some(250);
+        assert_eq!(
+            CacheKey::of_request(&request(), &base),
+            CacheKey::of_request(&bounded, &base)
         );
     }
 

@@ -7,7 +7,14 @@
 //! if any file's count rises; falling counts are reported so the
 //! baseline can be tightened with `--update-baseline`.
 //!
-//! Exit codes: 0 = clean, 1 = lint failures, 2 = usage or I/O error.
+//! `cargo run -p xtask -- waivers` audits the lint waivers instead:
+//! it lists every `lint: allow(…)` site with its documented reason,
+//! flags stale waivers whose debt has since been paid, and fails if a
+//! strict crate (one required to carry zero baselined lint debt, such
+//! as the service crate) has ratcheted violations or baseline entries.
+//!
+//! Exit codes: 0 = clean, 1 = lint/audit failures, 2 = usage or I/O
+//! error.
 
 mod baseline;
 mod json;
@@ -25,6 +32,13 @@ use rules::{check_file, RULE_NO_PANIC};
 /// counts recorded in the baseline.
 const SEED_CRATES: [&str; 3] = ["spicenet", "core", "timan"];
 
+/// Crates required to carry ZERO baselined lint debt: every rule hit in
+/// their library code must be fixed or explicitly waived with a reason.
+/// The `waivers` audit fails if one of these crates has a ratcheted
+/// violation or a `ci/lint-baseline.json` entry — so no new unwaivered
+/// panic site can land in the service crate behind the baseline.
+const STRICT_CRATES: [&str; 1] = ["coolserved"];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -37,14 +51,14 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint [--update-baseline] \
+const USAGE: &str = "usage: cargo run -p xtask -- <lint|waivers> [--update-baseline] \
                      [--baseline <path>] [--root <path>]";
 
 fn run(args: &[String]) -> Result<bool, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(USAGE.to_string());
     };
-    if command != "lint" {
+    if command != "lint" && command != "waivers" {
         return Err(format!("unknown command `{command}`; {USAGE}"));
     }
     let mut update = false;
@@ -53,7 +67,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--update-baseline" => update = true,
+            "--update-baseline" if command == "lint" => update = true,
             "--baseline" => {
                 baseline_rel = it
                     .next()
@@ -69,7 +83,11 @@ fn run(args: &[String]) -> Result<bool, String> {
             other => return Err(format!("unknown flag `{other}`; {USAGE}")),
         }
     }
-    lint(&root, &baseline_rel, update)
+    if command == "waivers" {
+        audit_waivers(&root, &baseline_rel)
+    } else {
+        lint(&root, &baseline_rel, update)
+    }
 }
 
 /// The workspace root, resolved from this crate's manifest directory so
@@ -223,6 +241,92 @@ fn lint(root: &Path, baseline_rel: &str, update: bool) -> Result<bool, String> {
     Ok(!failed)
 }
 
+/// The `waivers` subcommand: lists every `lint: allow(…)` site with its
+/// documented reason, flags stale waivers, and enforces the strict-crate
+/// invariant — a strict crate's lint debt must be zero outside of
+/// reasoned waivers, with no `ci/lint-baseline.json` entries to hide
+/// behind.
+fn audit_waivers(root: &Path, baseline_rel: &str) -> Result<bool, String> {
+    let crates_dir = root.join("crates");
+    let mut sources = Vec::new();
+    collect_rust_sources(&crates_dir, &mut sources)
+        .map_err(|e| format!("walking {}: {e}", crates_dir.display()))?;
+    sources.sort();
+
+    let mut rows: Vec<(String, rules::WaiverSite)> = Vec::new();
+    let mut strict_hits: Vec<(String, rules::Violation)> = Vec::new();
+    for path in &sources {
+        let rel_path = relative_to(path, root);
+        if is_exempt_path(&rel_path) {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let report = check_file(&rel_path, &src);
+        if crate_of(&rel_path).is_some_and(|k| STRICT_CRATES.contains(&k)) {
+            strict_hits.extend(
+                report
+                    .violations
+                    .iter()
+                    .cloned()
+                    .map(|v| (rel_path.clone(), v)),
+            );
+        }
+        rows.extend(report.waivers.into_iter().map(|w| (rel_path.clone(), w)));
+    }
+
+    let stale = rows.iter().filter(|(_, w)| !w.used).count();
+    println!(
+        "xtask waivers: {} waived site(s), {stale} stale",
+        rows.len()
+    );
+    for (path, w) in &rows {
+        let mark = if w.used {
+            ""
+        } else {
+            "  [stale: no matching site]"
+        };
+        println!("  {path}:{} {} — {}{mark}", w.line, w.rule, w.reason);
+    }
+
+    let mut failed = false;
+    let baseline_path = root.join(baseline_rel);
+    if baseline_path.exists() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        let old =
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        for (file, per_rule) in &old.files {
+            if !crate_of(file).is_some_and(|k| STRICT_CRATES.contains(&k)) {
+                continue;
+            }
+            for (rule, &count) in per_rule {
+                if count > 0 {
+                    failed = true;
+                    eprintln!(
+                        "{file}: {count} baselined `{rule}` entr{} — strict crates must \
+                         fix or waive, never ratchet",
+                        if count == 1 { "y" } else { "ies" }
+                    );
+                }
+            }
+        }
+    }
+    for (path, v) in &strict_hits {
+        failed = true;
+        eprintln!(
+            "{path}:{}: unwaivered `{}` in a strict crate: {}",
+            v.line, v.rule, v.message
+        );
+    }
+    if failed {
+        eprintln!("xtask waivers: FAILED — strict crates carry unwaivered or baselined lint debt");
+    } else {
+        println!("xtask waivers: OK — strict crates are baseline-free and fully waived");
+    }
+    Ok(!failed)
+}
+
 fn print_seed_progress(seed: &BTreeMap<String, usize>, current: &BTreeMap<String, usize>) {
     for (krate, &was) in seed {
         let now = current.get(krate).copied().unwrap_or(0);
@@ -309,5 +413,17 @@ mod tests {
             ok,
             "workspace has lint violations above the ratchet baseline"
         );
+    }
+
+    /// End-to-end: the strict crates (the service crate) must pass the
+    /// waiver audit — no baselined debt, no unwaivered panic sites.
+    #[test]
+    fn strict_crates_pass_the_waiver_audit() {
+        let root = default_root();
+        if !root.join("crates/coolserved").exists() {
+            return; // freshly bootstrapped tree
+        }
+        let ok = audit_waivers(&root, "ci/lint-baseline.json").expect("audit run");
+        assert!(ok, "strict crates carry unwaivered or baselined lint debt");
     }
 }

@@ -48,6 +48,19 @@ pub struct FileReport {
     pub violations: Vec<Violation>,
     /// Sites that matched a rule but were covered by a valid waiver.
     pub waived: usize,
+    /// Every well-formed waiver comment in the file, for auditing.
+    pub waivers: Vec<WaiverSite>,
+}
+
+/// One well-formed `lint: allow(…)` waiver, with its documented reason
+/// and whether it actually covered a rule hit on its line (a stale
+/// waiver — `used == false` — marks debt that has since been paid).
+#[derive(Debug, Clone)]
+pub struct WaiverSite {
+    pub line: u32,
+    pub rule: String,
+    pub reason: String,
+    pub used: bool,
 }
 
 /// Lints one library source file. `rel_path` is workspace-relative with
@@ -60,23 +73,40 @@ pub fn check_file(rel_path: &str, src: &str) -> FileReport {
     let raw = scan_tokens(&out.tokens, &mask, unsafe_allowed);
 
     let mut waived = 0usize;
+    let mut used = vec![false; waivers.len()];
     for v in raw {
-        let is_waived = waivers
+        let hit = waivers
             .iter()
-            .any(|w| w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line));
-        if is_waived {
+            .position(|w| w.rule == v.rule && (w.line == v.line || w.line + 1 == v.line));
+        if let Some(i) = hit {
+            used[i] = true;
             waived += 1;
         } else {
             violations.push(v);
         }
     }
     violations.sort_by_key(|v| (v.line, v.rule));
-    FileReport { violations, waived }
+    let waivers = waivers
+        .into_iter()
+        .zip(used)
+        .map(|(w, used)| WaiverSite {
+            line: w.line,
+            rule: w.rule,
+            reason: w.reason,
+            used,
+        })
+        .collect();
+    FileReport {
+        violations,
+        waived,
+        waivers,
+    }
 }
 
 struct Waiver {
     line: u32,
     rule: String,
+    reason: String,
 }
 
 /// Extracts `lint: allow(<rule>, reason = "…")` waivers from comments.
@@ -90,7 +120,11 @@ fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<Violation>) {
             continue;
         };
         match parse_allow(rest.trim()) {
-            Ok(rule) => waivers.push(Waiver { line: c.line, rule }),
+            Ok((rule, reason)) => waivers.push(Waiver {
+                line: c.line,
+                rule,
+                reason,
+            }),
             Err(why) => violations.push(Violation {
                 rule: RULE_WAIVER,
                 line: c.line,
@@ -101,7 +135,7 @@ fn parse_waivers(comments: &[Comment]) -> (Vec<Waiver>, Vec<Violation>) {
     (waivers, violations)
 }
 
-fn parse_allow(s: &str) -> Result<String, String> {
+fn parse_allow(s: &str) -> Result<(String, String), String> {
     const SHAPE: &str = "expected `lint: allow(<rule>, reason = \"…\")`";
     let body = s
         .strip_prefix("allow(")
@@ -129,7 +163,7 @@ fn parse_allow(s: &str) -> Result<String, String> {
     if reason.trim().is_empty() {
         return Err("waiver reason must not be empty".to_string());
     }
-    Ok(rule.to_string())
+    Ok((rule.to_string(), reason.to_string()))
 }
 
 /// Marks tokens that belong to `#[cfg(test)]` / `#[test]` items so the
@@ -375,6 +409,17 @@ mod tests {
         let rep = check_file("crates/x/src/lib.rs", src);
         assert!(rep.violations.is_empty());
         assert_eq!(rep.waived, 1);
+    }
+
+    #[test]
+    fn waiver_sites_carry_reason_and_usage() {
+        let src = "fn f() {\n    // lint: allow(no-panic, reason = \"checked above\")\n    x.unwrap();\n    // lint: allow(float-eq, reason = \"stale\")\n}\n";
+        let rep = check_file("crates/x/src/lib.rs", src);
+        assert_eq!(rep.waivers.len(), 2);
+        assert_eq!(rep.waivers[0].rule, RULE_NO_PANIC);
+        assert_eq!(rep.waivers[0].reason, "checked above");
+        assert!(rep.waivers[0].used, "covering waiver must read as used");
+        assert!(!rep.waivers[1].used, "idle waiver must read as stale");
     }
 
     #[test]

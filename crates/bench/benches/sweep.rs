@@ -52,6 +52,13 @@
 //! 256×256 speedup (≥ 2× at 4 threads, multi-core hosts only) and,
 //! unconditionally, zero bit-drift between thread counts.
 //!
+//! Schema version 7 adds the `spectral` section — the spectral (DCT +
+//! per-mode Thomas) direct solver against the stencil + multigrid
+//! oracle on the laterally homogeneous bench stack, per mesh (64/128
+//! smoke, up to 512 full), with per-solve latency, field drift and
+//! fitted scaling exponents. CI gates the drift (≤ 1e-6 K,
+//! unconditionally) and the 256×256 speedup (≥ 2×, full mode only).
+//!
 //! ```sh
 //! cargo bench -p coolplace-bench --bench sweep -- \
 //!     --smoke --threads 2 --out BENCH_sweep.json --check ci/bench-baseline.json
@@ -96,7 +103,10 @@ use thermalsim::{DeltaThermalModel, FactorizedThermalModel, SolverKind, ThermalC
 /// v6: added the `solver_threads` section (threaded V-cycle kernels vs
 /// their own single-thread run, with mandatory zero bit-drift) and the
 /// xlarge scenario band (256×256, 512×512, full mode, engine-only).
-const SCHEMA_VERSION: f64 = 6.0;
+/// v7: added the `spectral` section (DCT direct solver vs the multigrid
+/// oracle on the homogeneous bench stack, with drift and fitted scaling
+/// exponents).
+const SCHEMA_VERSION: f64 = 7.0;
 
 /// In-run agreement required between the sequential reference and the
 /// engine, in kelvin — pure solver noise, no physics.
@@ -370,12 +380,14 @@ fn scaling_exponent(points: &[(f64, f64)]) -> Option<f64> {
 
 /// Benchmarks one solver backend at one mesh: build time plus the mean
 /// of `solves` timed re-solves (after one untimed warm-up), with the
-/// iteration count and the solved field for cross-checking.
+/// iteration count, the solved field for cross-checking, and the name
+/// of the backend the model actually routed to.
+#[allow(clippy::type_complexity)]
 fn time_backend(
     nx: usize,
     solver: SolverKind,
     solves: usize,
-) -> Result<(f64, f64, usize, thermalsim::ThermalMap), String> {
+) -> Result<(f64, f64, usize, thermalsim::ThermalMap, &'static str), String> {
     let die = bench_die();
     let config = ThermalConfig::with_resolution(nx, nx).with_solver(solver);
     let power = bench_power(nx, nx, die);
@@ -389,7 +401,13 @@ fn time_backend(
         stats = s;
     }
     let solve_ms = solve_started.elapsed().as_secs_f64() * 1e3 / solves.max(1) as f64;
-    Ok((build_ms, solve_ms, stats.iterations, map))
+    Ok((
+        build_ms,
+        solve_ms,
+        stats.iterations,
+        map,
+        model.solver_name(),
+    ))
 }
 
 /// The solver-scaling section: structured stencil + multigrid versus the
@@ -409,8 +427,8 @@ fn run_solver_scaling(meshes: &[usize]) -> Result<Json, String> {
         } else {
             2
         };
-        let (s_build, s_solve, s_iters, s_map) = time_backend(nx, SolverKind::Stencil, solves)?;
-        let (c_build, c_solve, c_iters, c_map) = time_backend(nx, SolverKind::Csr, solves)?;
+        let (s_build, s_solve, s_iters, s_map, _) = time_backend(nx, SolverKind::Stencil, solves)?;
+        let (c_build, c_solve, c_iters, c_map, _) = time_backend(nx, SolverKind::Csr, solves)?;
         let mut drift_k: f64 = 0.0;
         for ((_, a), (_, b)) in s_map.grid().iter().zip(c_map.grid().iter()) {
             drift_k = drift_k.max((a - b).abs());
@@ -527,6 +545,79 @@ fn run_solver_threads(threads: usize, smoke: bool) -> Result<Json, String> {
         ("hw_threads", Json::Num(hw_threads as f64)),
         ("threads", Json::Num(threads as f64)),
         ("meshes", Json::Arr(entries)),
+    ]))
+}
+
+/// The `spectral` section (schema ≥ 7): the spectral direct solver
+/// (DCT diagonalization, per-mode Thomas) against the stencil +
+/// multigrid oracle. The bench stack is laterally homogeneous — the geometry the
+/// spectral tier exists for — so the `Spectral` leg must actually route
+/// to `spectral-dct` (anything else means the qualification logic
+/// regressed and the section would silently measure multigrid against
+/// itself). The speedup is within-run (machine speed cancels out); the
+/// drift against the oracle is physics and gated on any machine.
+fn run_spectral_bench(smoke: bool) -> Result<Json, String> {
+    let meshes: &[usize] = if smoke {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
+    let mut entries = Vec::new();
+    let mut spectral_points = Vec::new();
+    let mut mg_points = Vec::new();
+    for &nx in meshes {
+        let solves = if nx <= 128 { 3 } else { 2 };
+        let (sp_build, sp_solve, sp_iters, sp_map, sp_name) =
+            time_backend(nx, SolverKind::Spectral, solves)?;
+        if sp_name != "spectral-dct" {
+            return Err(format!(
+                "spectral leg at {nx}x{nx} routed to `{sp_name}` — the \
+                 homogeneous bench stack must qualify for the direct tier"
+            ));
+        }
+        let (mg_build, mg_solve, mg_iters, mg_map, _) =
+            time_backend(nx, SolverKind::Stencil, solves)?;
+        let mut drift_k: f64 = 0.0;
+        for ((_, a), (_, b)) in sp_map.grid().iter().zip(mg_map.grid().iter()) {
+            drift_k = drift_k.max((a - b).abs());
+        }
+        let unknowns = (nx * nx * 9 + 1) as f64;
+        spectral_points.push((unknowns, sp_solve));
+        mg_points.push((unknowns, mg_solve));
+        let speedup = mg_solve / sp_solve;
+        println!(
+            "spectral bench [{nx}x{nx}x9]: spectral {sp_solve:.2} ms/{sp_iters} its \
+             (build {sp_build:.0} ms), multigrid {mg_solve:.2} ms/{mg_iters} its \
+             (build {mg_build:.0} ms) → {speedup:.1}×, drift {drift_k:.1e} K"
+        );
+        entries.push(Json::obj([
+            (
+                "mesh",
+                Json::Arr(vec![Json::Num(nx as f64), Json::Num(nx as f64)]),
+            ),
+            ("unknowns", Json::Num(unknowns)),
+            ("timed_solves", Json::Num(solves as f64)),
+            ("spectral_build_ms", Json::Num(sp_build)),
+            ("spectral_solve_ms", Json::Num(sp_solve)),
+            ("spectral_iterations", Json::Num(sp_iters as f64)),
+            ("mg_build_ms", Json::Num(mg_build)),
+            ("mg_solve_ms", Json::Num(mg_solve)),
+            ("mg_iterations", Json::Num(mg_iters as f64)),
+            ("speedup_vs_mg", Json::Num(speedup)),
+            ("max_drift_k", Json::Num(drift_k)),
+        ]));
+    }
+    Ok(Json::obj([
+        ("backend", Json::Str("spectral-dct".to_string())),
+        ("meshes", Json::Arr(entries)),
+        (
+            "scaling_exponent_spectral",
+            scaling_exponent(&spectral_points).map_or(Json::Null, Json::Num),
+        ),
+        (
+            "scaling_exponent_mg",
+            scaling_exponent(&mg_points).map_or(Json::Null, Json::Num),
+        ),
     ]))
 }
 
@@ -1050,6 +1141,16 @@ fn main() -> ExitCode {
         }
     };
 
+    // The spectral direct solver against the multigrid oracle on the
+    // homogeneous bench stack, with the drift gate's numbers.
+    let spectral_section = match run_spectral_bench(args.smoke) {
+        Ok(section) => section,
+        Err(e) => {
+            eprintln!("spectral bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     // The strategy engine's frontier over the transform registry.
     let optimizer_section = match run_optimizer_bench() {
         Ok(section) => section,
@@ -1136,6 +1237,7 @@ fn main() -> ExitCode {
         ("delta", delta_section),
         ("solver_scaling", solver_scaling),
         ("solver_threads", solver_threads_section),
+        ("spectral", spectral_section),
         ("optimizer", optimizer_section),
         ("service", service_section),
         ("records", Json::Arr(records)),

@@ -17,8 +17,8 @@ use geom::Rect;
 use netlist::CellId;
 use postplace::{
     BudgetOptimum, CacheKey, FlowReport, Hotspot, OptimizeGoal, OptimizeOutcome, OptimizeRequest,
-    OptimizeResponse, ParetoFrontier, ParetoPoint, RowOptimum, Strategy, ThermalSummary,
-    WorkloadSpec,
+    OptimizeResponse, ParetoFrontier, ParetoPoint, RowOptimum, SolverKind, Strategy,
+    ThermalSummary, WorkloadSpec,
 };
 use timan::TimingReport;
 
@@ -215,9 +215,10 @@ fn goal_from_json(value: &Json) -> Result<OptimizeGoal, ServiceError> {
     }
 }
 
-/// [`OptimizeRequest`] → JSON. `solver_threads` and `deadline_ms` are
-/// emitted only when set, so documents written before either knob
-/// existed render byte-identically to ones written now without them.
+/// [`OptimizeRequest`] → JSON. `solver_threads`, `deadline_ms` and
+/// `solver` are emitted only when set, so documents written before any
+/// of those knobs existed render byte-identically to ones written now
+/// without them.
 pub fn request_to_json(request: &OptimizeRequest) -> Json {
     let mut members = vec![
         ("workload".to_string(), workload_to_json(&request.workload)),
@@ -243,7 +244,34 @@ pub fn request_to_json(request: &OptimizeRequest) -> Json {
     if let Some(deadline_ms) = request.deadline_ms {
         members.push(("deadline_ms".to_string(), Json::Num(deadline_ms as f64)));
     }
+    if let Some(solver) = request.solver {
+        members.push((
+            "solver".to_string(),
+            Json::Str(solver_token(solver).to_string()),
+        ));
+    }
     Json::Obj(members)
+}
+
+fn solver_token(solver: SolverKind) -> &'static str {
+    match solver {
+        SolverKind::Auto => "auto",
+        SolverKind::Stencil => "stencil",
+        SolverKind::Csr => "csr",
+        SolverKind::Spectral => "spectral",
+    }
+}
+
+fn solver_from_token(token: &str) -> Result<SolverKind, ServiceError> {
+    match token {
+        "auto" => Ok(SolverKind::Auto),
+        "stencil" => Ok(SolverKind::Stencil),
+        "csr" => Ok(SolverKind::Csr),
+        "spectral" => Ok(SolverKind::Spectral),
+        other => Err(codec_err(format!(
+            "request.solver: unknown backend `{other}` (expected auto/stencil/csr/spectral)"
+        ))),
+    }
 }
 
 /// JSON → [`OptimizeRequest`].
@@ -281,6 +309,10 @@ pub fn request_from_json(value: &Json) -> Result<OptimizeRequest, ServiceError> 
         None | Some(Json::Null) => None,
         Some(_) => Some(member_usize(value, "request", "deadline_ms")? as u64),
     };
+    let solver = match value.get("solver") {
+        None | Some(Json::Null) => None,
+        Some(_) => Some(solver_from_token(member_str(value, "request", "solver")?)?),
+    };
     Ok(OptimizeRequest {
         workload: workload_from_json(member(value, "request", "workload")?)?,
         mesh: (dim(nx, "nx")?, dim(ny, "ny")?),
@@ -288,6 +320,7 @@ pub fn request_from_json(value: &Json) -> Result<OptimizeRequest, ServiceError> 
         tag,
         solver_threads,
         deadline_ms,
+        solver,
     })
 }
 
@@ -667,6 +700,67 @@ mod tests {
         );
         let back = request_from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.deadline_ms, None);
+    }
+
+    #[test]
+    fn solver_rides_the_wire_only_when_set() {
+        for (kind, token) in [
+            (SolverKind::Auto, "auto"),
+            (SolverKind::Stencil, "stencil"),
+            (SolverKind::Csr, "csr"),
+            (SolverKind::Spectral, "spectral"),
+        ] {
+            let mut request = sample_request();
+            request.solver = Some(kind);
+            let text = request_to_json(&request).render();
+            assert!(text.contains(&format!("\"solver\": \"{token}\"")), "{text}");
+            let back = request_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.solver, Some(kind));
+            assert_eq!(request, back);
+        }
+        let mut request = sample_request();
+        request.solver = None;
+        let text = request_to_json(&request).render();
+        assert!(
+            !text.contains("\"solver\""),
+            "an unset solver must not appear on the wire: {text}"
+        );
+        let back = request_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.solver, None);
+        let err = request_from_json(
+            &Json::parse(&text.replace(
+                "\"solver_threads\": 3",
+                "\"solver_threads\": 3, \"solver\": \"warp-drive\"",
+            ))
+            .unwrap(),
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("warp-drive"), "{err}");
+    }
+
+    #[test]
+    fn pre_solver_documents_decode_and_re_render_byte_identically() {
+        // A request document exactly as the service wrote it before the
+        // `solver` knob existed must decode to `None` (= inherit the
+        // service default) and — crucially for the persistent disk
+        // cache, which compares re-rendered documents byte-for-byte —
+        // render back to the very same bytes.
+        let request = sample_request();
+        let pre_pr_text = request_to_json(&request).render();
+        assert!(!pre_pr_text.contains("\"solver\""));
+        let back = request_from_json(&Json::parse(&pre_pr_text).unwrap()).unwrap();
+        assert_eq!(back.solver, None);
+        assert_eq!(request_to_json(&back).render(), pre_pr_text);
+        // An explicit null is the other legacy spelling of "unset".
+        let nulled = pre_pr_text.replace(
+            "\"solver_threads\": 3",
+            "\"solver_threads\": 3, \"solver\": null",
+        );
+        assert_ne!(nulled, pre_pr_text, "replacement must have fired");
+        let back = request_from_json(&Json::parse(&nulled).unwrap()).unwrap();
+        assert_eq!(back.solver, None);
+        assert_eq!(request_to_json(&back).render(), pre_pr_text);
     }
 
     #[test]

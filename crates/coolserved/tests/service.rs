@@ -310,6 +310,7 @@ fn unknown_jobs_and_failures_surface_typed_errors() {
             tag: None,
             solver_threads: None,
             deadline_ms: None,
+            solver: None,
         };
         let id = service.submit(bad);
         let err = service.wait(id).unwrap_err();

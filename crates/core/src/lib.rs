@@ -93,6 +93,9 @@ pub use sweep::{
     default_threads, run_requests, RequestBatch, RequestOutcome, Scenario, ScenarioResult,
     SweepGrid, SweepReport,
 };
+/// Re-exported so request builders can name a solver backend without
+/// depending on `thermalsim` directly.
+pub use thermalsim::SolverKind;
 pub use transform::{
     rows_for_budget, CompositeTransform, EmptyRowInsertionTransform, HotBinSpreadTransform,
     HotspotWrapperTransform, NoneTransform, PlacementTransform, SpreadFillersTransform,

@@ -136,6 +136,19 @@ impl CacheKey {
         h.write_usize(request.mesh.0);
         h.write_usize(request.mesh.1);
         hash_goal(&mut h, &request.goal);
+        if let Some(solver) = request.solver {
+            // Folded only when explicitly set so pre-existing keys (and
+            // every request that inherits the base solver) are
+            // unchanged. The marker keeps the conditional tail
+            // prefix-free against the goal hash above.
+            h.write_u64(0x536f_6c76_6572_4b64); // "SolverKd"
+            h.write_u64(match solver {
+                thermalsim::SolverKind::Auto => 0,
+                thermalsim::SolverKind::Stencil => 1,
+                thermalsim::SolverKind::Csr => 2,
+                thermalsim::SolverKind::Spectral => 3,
+            });
+        }
         CacheKey(h.finish())
     }
 
@@ -247,6 +260,16 @@ pub struct OptimizeRequest {
     /// the cache key.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub deadline_ms: Option<u64>,
+    /// Linear-solver backend for this request's thermal solves (`None`
+    /// = inherit the base config / service default, normally
+    /// [`thermalsim::SolverKind::Auto`]). Unlike `solver_threads`, the
+    /// backend **can** change result bits (spectral vs multigrid vs
+    /// CSR agree only to solver tolerance), so an explicitly set
+    /// solver *is* folded into the cache key. It is folded only when
+    /// set, so keys of requests that leave it `None` — including every
+    /// request minted before this field existed — are unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub solver: Option<thermalsim::SolverKind>,
 }
 
 impl OptimizeRequest {
@@ -288,6 +311,9 @@ impl OptimizeRequest {
         if let Some(threads) = self.solver_threads {
             config.thermal.threads = threads;
         }
+        if let Some(solver) = self.solver {
+            config.thermal.solver = solver;
+        }
         config
     }
 }
@@ -302,6 +328,7 @@ pub struct OptimizeRequestBuilder {
     tag: Option<String>,
     solver_threads: Option<usize>,
     deadline_ms: Option<u64>,
+    solver: Option<thermalsim::SolverKind>,
 }
 
 impl OptimizeRequestBuilder {
@@ -383,6 +410,13 @@ impl OptimizeRequestBuilder {
         self
     }
 
+    /// Optional linear-solver backend override (part of the cache key
+    /// when set — see [`OptimizeRequest::solver`]).
+    pub fn solver(mut self, solver: thermalsim::SolverKind) -> Self {
+        self.solver = Some(solver);
+        self
+    }
+
     /// Validates and builds the request.
     ///
     /// # Errors
@@ -417,6 +451,7 @@ impl OptimizeRequestBuilder {
             tag: self.tag,
             solver_threads: self.solver_threads,
             deadline_ms: self.deadline_ms,
+            solver: self.solver,
         })
     }
 }
@@ -800,6 +835,44 @@ mod tests {
             CacheKey::of_request(&request(), &base),
             CacheKey::of_request(&bounded, &base)
         );
+    }
+
+    #[test]
+    fn solver_perturbs_the_key_only_when_set() {
+        // Backend selection can change result bits, so an explicit
+        // solver must key a distinct cache slot — but an unset one
+        // must leave the key exactly as it was before the field
+        // existed (the golden digest above pins that).
+        let base = FlowConfig::scattered_small().fast();
+        let reference = CacheKey::of_request(&request(), &base);
+        let mut forced = request();
+        forced.solver = Some(thermalsim::SolverKind::Spectral);
+        assert_ne!(CacheKey::of_request(&forced, &base), reference);
+        assert_eq!(
+            forced.resolve_config(&base).thermal.solver,
+            thermalsim::SolverKind::Spectral,
+            "resolve_config applies the override"
+        );
+        let mut oracle = request();
+        oracle.solver = Some(thermalsim::SolverKind::Stencil);
+        assert_ne!(
+            CacheKey::of_request(&oracle, &base),
+            CacheKey::of_request(&forced, &base),
+            "distinct backends key distinct slots"
+        );
+        assert_eq!(
+            request().resolve_config(&base).thermal.solver,
+            base.thermal.solver,
+            "unset solver inherits the base config"
+        );
+        let built = OptimizeRequest::builder()
+            .workload(WorkloadSpec::checkerboard())
+            .mesh(16, 16)
+            .transform("eri:8")
+            .solver(thermalsim::SolverKind::Spectral)
+            .build()
+            .unwrap();
+        assert_eq!(built.solver, Some(thermalsim::SolverKind::Spectral));
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod paranoid;
 pub mod pool;
 mod solution;
 mod sparse;
+mod spectral;
 mod stencil;
 
 pub use circuit::{Circuit, NodeId, NodeRef};
@@ -56,6 +57,7 @@ pub use factor::FactorizedCircuit;
 pub use mna::{Method, SolveOptions};
 pub use solution::{DcSolution, SolveStats};
 pub use sparse::CsrMatrix;
+pub use spectral::{DctPlan, DctScratch, SpectralSystem};
 pub use stencil::{
     FactorizedStencil, LayeredStencilSpec, MgWorkspace, MultigridPreconditioner, StencilFactorMeta,
     StencilOperator, StencilSystem,

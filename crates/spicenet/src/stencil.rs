@@ -35,7 +35,9 @@
 use crate::mna::SolveOptions;
 use crate::pool::{Board, Partials};
 use crate::sparse::{preconditioned_cg_block_grouped, LinearOperator, Preconditioning};
+use crate::spectral::SpectralSystem;
 use crate::{SolveError, SolveStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Lateral size at (or below) which the hierarchy bottoms out into a
 /// dense Cholesky solve (`≤ 4·4·nz` unknowns).
@@ -70,17 +72,17 @@ const DEFAULT_MAX_ITERATIONS: usize = 400;
 /// ```
 #[derive(Debug, Clone)]
 pub struct StencilOperator {
-    nx: usize,
-    ny: usize,
-    nz: usize,
+    pub(crate) nx: usize,
+    pub(crate) ny: usize,
+    pub(crate) nz: usize,
     /// Coupling to the `+x` neighbour (`i ↔ i + nz`); zero at `ix = nx−1`.
-    gx: Vec<f64>,
+    pub(crate) gx: Vec<f64>,
     /// Coupling to the `+y` neighbour (`i ↔ i + nx·nz`); zero at `iy = ny−1`.
-    gy: Vec<f64>,
+    pub(crate) gy: Vec<f64>,
     /// Coupling to the `+z` neighbour (`i ↔ i + 1`); zero at `iz = nz−1`.
-    gz: Vec<f64>,
+    pub(crate) gz: Vec<f64>,
     /// Conductance into eliminated nodes (diagonal-only contribution).
-    leak: Vec<f64>,
+    pub(crate) leak: Vec<f64>,
     /// Precomputed diagonal: `leak + Σ incident couplings`.
     diag: Vec<f64>,
     /// Precomputed inverse pivots of each vertical column's tridiagonal
@@ -974,13 +976,13 @@ impl StencilOperator {
 /// every bottom-layer cell couples into with the same conductance, which
 /// itself reaches the pinned ambient through the package resistance.
 #[derive(Debug, Clone)]
-struct BorderNode {
+pub(crate) struct BorderNode {
     /// Conductance between the border node and each bottom-layer cell.
-    coupling: f64,
+    pub(crate) coupling: f64,
     /// Precomputed diagonal: `coupling · nx·ny + 1/R_package`.
-    diag: f64,
+    pub(crate) diag: f64,
     /// Dirichlet RHS contribution: `ambient / R_package`.
-    rhs: f64,
+    pub(crate) rhs: f64,
 }
 
 /// Description of a layered 7-point stencil system, as emitted by the
@@ -1017,8 +1019,8 @@ pub struct LayeredStencilSpec<'a> {
 /// and what [`FactorizedStencil`] solves.
 #[derive(Debug, Clone)]
 pub struct StencilSystem {
-    op: StencilOperator,
-    border: Option<BorderNode>,
+    pub(crate) op: StencilOperator,
+    pub(crate) border: Option<BorderNode>,
     /// Dirichlet contributions, length [`StencilSystem::unknowns`] (the
     /// border slot last when present).
     fixed_rhs: Vec<f64>,
@@ -1284,8 +1286,21 @@ pub struct MgWorkspace {
 #[derive(Debug, Clone)]
 pub struct MultigridPreconditioner {
     levels: Vec<StencilOperator>,
-    coarse: DenseSpd,
+    coarse: CoarseSolver,
     border_diag: Option<f64>,
+}
+
+/// The exact solver at the bottom of the V-cycle. The dense Cholesky is
+/// the general-purpose workhorse; the spectral variant solves the
+/// *homogenized* coarsest operator (per-layer mean coefficients) by
+/// DCT + Thomas instead — still symmetric positive definite and linear,
+/// so the V-cycle remains a valid CG preconditioner, and still a
+/// replicated scalar computation, so the SPMD solver stays bit-identical
+/// at any thread count.
+#[derive(Debug, Clone)]
+enum CoarseSolver {
+    Dense(DenseSpd),
+    Spectral(crate::spectral::SpectralSystem),
 }
 
 impl MultigridPreconditioner {
@@ -1299,6 +1314,24 @@ impl MultigridPreconditioner {
     /// breaks down (an indefinite system — impossible for a resistive
     /// mesh with at least one leak to a pinned node).
     pub fn build(sys: &StencilSystem) -> Result<Self, SolveError> {
+        Self::build_inner(sys, false)
+    }
+
+    /// [`Self::build`], but with the coarsest level solved spectrally
+    /// (DCT + per-mode Thomas on the homogenized operator) instead of by
+    /// dense Cholesky. Falls back to the dense factor when the coarse
+    /// lateral sizes do not admit a transform (odd > 1) or the
+    /// homogenized tridiagonals are not positive definite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] exactly as [`Self::build`] does
+    /// when the dense fallback itself breaks down.
+    pub fn build_with_spectral_coarse(sys: &StencilSystem) -> Result<Self, SolveError> {
+        Self::build_inner(sys, true)
+    }
+
+    fn build_inner(sys: &StencilSystem, spectral_coarse: bool) -> Result<Self, SolveError> {
         // Walk the hierarchy through a local operator instead of peeking
         // at `levels.last()`, so the loop needs no "non-empty" claims.
         let mut levels = Vec::new();
@@ -1308,17 +1341,30 @@ impl MultigridPreconditioner {
             levels.push(coarsest);
             coarsest = next;
         }
-        let coarse = DenseSpd::from_stencil(&coarsest).ok_or_else(|| SolveError::Singular {
-            detail: "coarse-grid factorization broke down \
+        let spectral = spectral_coarse
+            .then(|| crate::spectral::SpectralSystem::homogenized(&coarsest))
+            .flatten();
+        let coarse = match spectral {
+            Some(sp) => CoarseSolver::Spectral(sp),
+            None => CoarseSolver::Dense(DenseSpd::from_stencil(&coarsest).ok_or_else(|| {
+                SolveError::Singular {
+                    detail: "coarse-grid factorization broke down \
                              (stencil system is not positive definite)"
-                .to_string(),
-        })?;
+                        .to_string(),
+                }
+            })?),
+        };
         levels.push(coarsest);
         Ok(MultigridPreconditioner {
             levels,
             coarse,
             border_diag: sys.border.as_ref().map(|b| b.diag),
         })
+    }
+
+    /// Whether the coarsest level is solved spectrally.
+    pub fn spectral_coarse(&self) -> bool {
+        matches!(self.coarse, CoarseSolver::Spectral(_))
     }
 
     /// Number of levels in the hierarchy (finest included).
@@ -1368,10 +1414,11 @@ impl MultigridPreconditioner {
     fn cycle(&self, level: usize, k: usize, ws: &mut MgWorkspace) {
         if level + 1 == self.levels.len() {
             let (rs, xs) = (&ws.rs[level], &mut ws.xs[level]);
-            if k == 1 {
-                self.coarse.solve_into(rs, xs);
-            } else {
-                self.coarse.solve_block_into(rs, xs, k);
+            match (&self.coarse, k) {
+                (CoarseSolver::Dense(d), 1) => d.solve_into(rs, xs),
+                (CoarseSolver::Dense(d), _) => d.solve_block_into(rs, xs, k),
+                (CoarseSolver::Spectral(s), 1) => s.solve_grid_into(rs, xs),
+                (CoarseSolver::Spectral(s), _) => s.solve_grid_block_into(rs, xs, k),
             }
             return;
         }
@@ -1466,10 +1513,18 @@ impl Preconditioning for MultigridPreconditioner {
 pub struct FactorizedStencil {
     sys: StencilSystem,
     mg: MultigridPreconditioner,
+    /// Tier-0 spectral direct factorization; present only when the
+    /// system qualified at build time (see
+    /// [`FactorizedStencil::with_spectral`]).
+    spectral: Option<SpectralSystem>,
     static_rhs: Vec<f64>,
     tolerance: f64,
     max_iterations: usize,
     threads: usize,
+    /// Full-field solves answered by the spectral direct path.
+    direct_solves: AtomicUsize,
+    /// Full-field solves answered by multigrid-preconditioned CG.
+    iterative_solves: AtomicUsize,
 }
 
 /// Serializable summary of one stencil factorization — what a result
@@ -1501,16 +1556,75 @@ impl FactorizedStencil {
     /// Returns [`SolveError::Singular`] when the coarse-grid
     /// factorization breaks down.
     pub fn new(sys: StencilSystem, options: SolveOptions) -> Result<Self, SolveError> {
-        let mg = MultigridPreconditioner::build(&sys)?;
+        Self::assemble(sys, options, None, false)
+    }
+
+    /// Like [`FactorizedStencil::new`], but additionally tries the
+    /// spectral tier. When the system is bitwise laterally homogeneous
+    /// (and the lateral sizes admit a DCT), full-field solves are
+    /// answered by the `spicenet::spectral` direct solver — exact, no
+    /// iteration — while the multigrid hierarchy is still built with its
+    /// usual dense coarse factor so influence-column / multi-RHS solves
+    /// stay bit-identical to [`FactorizedStencil::new`]. When the system
+    /// does *not* qualify (wrapper rings, spread non-uniformities), the
+    /// hierarchy is built with the spectral coarse-grid solver of the
+    /// homogenized operator instead
+    /// ([`MultigridPreconditioner::build_with_spectral_coarse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when the coarse-grid
+    /// factorization breaks down.
+    pub fn with_spectral(sys: StencilSystem, options: SolveOptions) -> Result<Self, SolveError> {
+        let spectral = SpectralSystem::from_stencil(&sys);
+        let spectral_coarse = spectral.is_none();
+        Self::assemble(sys, options, spectral, spectral_coarse)
+    }
+
+    fn assemble(
+        sys: StencilSystem,
+        options: SolveOptions,
+        spectral: Option<SpectralSystem>,
+        spectral_coarse: bool,
+    ) -> Result<Self, SolveError> {
+        let mg = if spectral_coarse {
+            MultigridPreconditioner::build_with_spectral_coarse(&sys)?
+        } else {
+            MultigridPreconditioner::build(&sys)?
+        };
         let static_rhs = sys.fixed_rhs.clone();
         Ok(FactorizedStencil {
             sys,
             mg,
+            spectral,
             static_rhs,
             tolerance: options.tolerance,
             max_iterations: options.max_iterations.unwrap_or(DEFAULT_MAX_ITERATIONS),
             threads: crate::pool::effective_threads(options.threads),
+            direct_solves: AtomicUsize::new(0),
+            iterative_solves: AtomicUsize::new(0),
         })
+    }
+
+    /// Whether full-field solves take the spectral direct path.
+    pub fn spectral_direct(&self) -> bool {
+        self.spectral.is_some()
+    }
+
+    /// Whether the multigrid hierarchy bottoms out in a spectral solve
+    /// of the homogenized coarsest operator.
+    pub fn spectral_coarse(&self) -> bool {
+        self.mg.spectral_coarse()
+    }
+
+    /// Full-field solves answered by the spectral direct solver so far.
+    pub fn direct_solves(&self) -> usize {
+        self.direct_solves.load(Ordering::Relaxed)
+    }
+
+    /// Full-field solves answered by multigrid-preconditioned CG so far.
+    pub fn iterative_solves(&self) -> usize {
+        self.iterative_solves.load(Ordering::Relaxed)
     }
 
     /// The worker-thread count this factorization solves with.
@@ -1580,6 +1694,52 @@ impl FactorizedStencil {
             assert!(cell < ng, "injection into a foreign cell");
             rhs[cell] += amps;
         }
+        if let Some(sp) = &self.spectral {
+            let mut x = sp.solve(&rhs, self.threads);
+            let mut ax = vec![0.0; rhs.len()];
+            self.sys.apply_into(&x, &mut ax);
+            // Plain sequential norms in index order: deterministic and
+            // thread-independent, like everything else on this path.
+            let (mut nb, mut nr, mut net) = (0.0f64, 0.0f64, 0.0f64);
+            for (b, a) in rhs.iter().zip(&ax) {
+                let d = b - a;
+                nb += b * b;
+                nr += d * d;
+                net += d;
+            }
+            let norm_b = nb.sqrt();
+            let residual = if norm_b > 0.0 {
+                nr.sqrt() / norm_b
+            } else {
+                0.0
+            };
+            // A direct solve lands at machine precision; anything worse
+            // means the factorization no longer matches the system, so
+            // fall through to the iterative path rather than return a
+            // silently degraded field. The check is on deterministic
+            // quantities, preserving bit-identity across thread counts.
+            if residual.is_finite() && residual <= self.tolerance {
+                #[cfg(feature = "paranoid")]
+                crate::paranoid::check_conservation_net(
+                    "spectral direct solve",
+                    net,
+                    rhs.len(),
+                    norm_b,
+                    self.tolerance,
+                );
+                let _ = net;
+                self.direct_solves.fetch_add(1, Ordering::Relaxed);
+                x.truncate(ng);
+                return Ok((
+                    x,
+                    SolveStats {
+                        iterations: 1,
+                        relative_residual: residual,
+                    },
+                ));
+            }
+        }
+        self.iterative_solves.fetch_add(1, Ordering::Relaxed);
         let (mut x, iterations, residual) = stencil_cg_spmd(
             &self.sys,
             &self.mg,
@@ -2911,6 +3071,206 @@ mod tests {
                 });
                 assert_bits_eq(&format!("{nx}x{ny} vcycle t={threads}"), &z, &want);
             }
+        }
+    }
+
+    #[test]
+    fn with_spectral_takes_the_direct_path_on_homogeneous_systems() {
+        // A uniform layered stack qualifies bit-for-bit: full-field
+        // solves are answered by the spectral tier (exactly -- the
+        // residual check inside the dispatch would otherwise fall back),
+        // and the result stays within the oracle drift budget of the
+        // plain multigrid factorization.
+        for (nx, ny) in [(12usize, 12usize), (16, 12)] {
+            let sys = StencilSystem::layered(&spec(nx, ny));
+            let nz = sys.operator().nz();
+            let injections: Vec<(usize, f64)> = (0..nx * ny)
+                .step_by(3)
+                .map(|col| (col * nz + nz - 1, 2e-4 * (1.0 + (col % 7) as f64)))
+                .collect();
+            let direct =
+                FactorizedStencil::with_spectral(sys.clone(), SolveOptions::default()).unwrap();
+            assert!(direct.spectral_direct(), "{nx}x{ny} qualifies");
+            assert!(
+                !direct.spectral_coarse(),
+                "direct path keeps the dense coarse factor"
+            );
+            let oracle = FactorizedStencil::new(sys, SolveOptions::default()).unwrap();
+            let (xd, stats) = direct.solve_injections_stats(&injections).unwrap();
+            let (xo, _) = oracle.solve_injections_stats(&injections).unwrap();
+            assert_eq!(direct.direct_solves(), 1, "spectral tier answered");
+            assert_eq!(direct.iterative_solves(), 0);
+            assert_eq!(stats.iterations, 1, "direct solves do not iterate");
+            let drift = xd
+                .iter()
+                .zip(&xo)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                drift <= 1e-6,
+                "{nx}x{ny}: spectral-vs-MG drift {drift:.3e} K"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_spectral_solves_are_bit_identical_across_thread_counts() {
+        // Same contract as the SPMD multigrid path: identical bits at 1,
+        // 2 and 4 threads, square and rectangular meshes.
+        for (nx, ny) in [(12usize, 12usize), (20, 12)] {
+            let sys = StencilSystem::layered(&spec(nx, ny));
+            let nz = sys.operator().nz();
+            let injections: Vec<(usize, f64)> = (0..nx * ny)
+                .step_by(4)
+                .map(|col| (col * nz + nz - 1, 1e-4 * (1.0 + (col % 5) as f64)))
+                .collect();
+            let mut baseline: Option<(Vec<f64>, SolveStats)> = None;
+            for threads in [1usize, 2, 4] {
+                let f = FactorizedStencil::with_spectral(
+                    sys.clone(),
+                    SolveOptions {
+                        threads,
+                        ..SolveOptions::default()
+                    },
+                )
+                .unwrap();
+                assert!(f.spectral_direct());
+                let (x, stats) = f.solve_injections_stats(&injections).unwrap();
+                assert_eq!(f.direct_solves(), 1);
+                match &baseline {
+                    None => baseline = Some((x, stats)),
+                    Some((x1, s1)) => {
+                        assert_eq!(
+                            s1.relative_residual.to_bits(),
+                            stats.relative_residual.to_bits(),
+                            "{nx}x{ny} t={threads}: residual drifted"
+                        );
+                        assert_bits_eq(&format!("{nx}x{ny} spectral t={threads}"), &x, x1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A wrapper-ring-style inhomogeneity: the layered stack with a ring
+    /// of boosted lateral conductance in the device layer.
+    fn ring_perturbed_system(nx: usize, ny: usize) -> StencilSystem {
+        let sys = StencilSystem::layered(&spec(nx, ny));
+        let op = sys.operator();
+        let (nz, n) = (op.nz, op.len());
+        let (mut gx, mut gy, mut gz, mut leak) =
+            (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        gx.copy_from_slice(&op.gx[..n]);
+        gy.copy_from_slice(&op.gy[..n]);
+        gz.copy_from_slice(&op.gz[..n]);
+        leak.copy_from_slice(&op.leak[..n]);
+        for iy in 2..ny - 2 {
+            for ix in 2..nx - 2 {
+                let on_ring = ix == 2 || iy == 2 || ix == nx - 3 || iy == ny - 3;
+                if on_ring {
+                    let i = (iy * nx + ix) * nz + 1;
+                    gx[i] *= 1.75;
+                    gy[i] *= 1.75;
+                }
+            }
+        }
+        let ring = StencilOperator::new(nx, ny, nz, gx, gy, gz, leak);
+        let mut out = sys;
+        out.op = ring;
+        out
+    }
+
+    #[test]
+    fn inhomogeneous_systems_fall_back_to_multigrid_without_drift() {
+        // The homogeneity-detection regression: a wrapper-ring system
+        // must NOT qualify for the direct spectral path; it runs the
+        // iterative solver (counted), under the spectral *coarse* mode,
+        // and stays within the oracle drift budget of the plain dense
+        // coarse factorization.
+        let sys = ring_perturbed_system(16, 16);
+        let nz = sys.operator().nz();
+        let injections: Vec<(usize, f64)> = (0..16 * 16)
+            .step_by(5)
+            .map(|col| (col * nz + nz - 1, 1.5e-4 * (1.0 + (col % 3) as f64)))
+            .collect();
+        let f = FactorizedStencil::with_spectral(sys.clone(), SolveOptions::default()).unwrap();
+        assert!(!f.spectral_direct(), "ring system must not qualify");
+        assert!(
+            f.spectral_coarse(),
+            "falls back to the spectral coarse mode"
+        );
+        let (x, stats) = f.solve_injections_stats(&injections).unwrap();
+        assert_eq!(f.direct_solves(), 0, "no spectral direct solve may run");
+        assert_eq!(f.iterative_solves(), 1, "multigrid answered");
+        assert!(stats.iterations > 1, "iterative path really iterated");
+        let oracle = FactorizedStencil::new(sys, SolveOptions::default()).unwrap();
+        let (xo, _) = oracle.solve_injections_stats(&injections).unwrap();
+        assert_eq!(oracle.direct_solves(), 0);
+        let drift = x
+            .iter()
+            .zip(&xo)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(drift <= 1e-6, "spectral-coarse drift {drift:.3e} K");
+    }
+
+    #[test]
+    fn spectral_coarse_solves_are_bit_identical_across_thread_counts() {
+        // The spectral coarse solver is replicated scalar code inside
+        // each SPMD worker, so the full iterative solve keeps the
+        // bit-identity contract. 16x8 semi-coarsens to an even 4x2
+        // coarsest grid, which the transform supports (12 would bottom
+        // out at 3 and fall back to the dense factor).
+        let sys = ring_perturbed_system(16, 8);
+        let nz = sys.operator().nz();
+        let injections: Vec<(usize, f64)> = (0..16 * 8)
+            .step_by(4)
+            .map(|col| (col * nz + nz - 1, 1e-4 * (1.0 + (col % 5) as f64)))
+            .collect();
+        let mut baseline: Option<(Vec<f64>, SolveStats)> = None;
+        for threads in [1usize, 2, 4] {
+            let f = FactorizedStencil::with_spectral(
+                sys.clone(),
+                SolveOptions {
+                    threads,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(f.spectral_coarse());
+            let (x, stats) = f.solve_injections_stats(&injections).unwrap();
+            match &baseline {
+                None => baseline = Some((x, stats)),
+                Some((x1, s1)) => {
+                    assert_eq!(s1.iterations, stats.iterations, "t={threads}");
+                    assert_eq!(
+                        s1.relative_residual.to_bits(),
+                        stats.relative_residual.to_bits(),
+                        "t={threads}: residual drifted"
+                    );
+                    assert_bits_eq(&format!("spectral-coarse solve t={threads}"), &x, x1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_spectral_matches_new_bit_for_bit_on_influence_columns() {
+        // Influence-column (multi-RHS) solves stay on the multigrid path
+        // with the dense coarse factor even when the direct tier is
+        // active, so delta-model blocks keep matching the plain
+        // factorization to the last bit.
+        let sys = StencilSystem::layered(&spec(12, 12));
+        let direct =
+            FactorizedStencil::with_spectral(sys.clone(), SolveOptions::default()).unwrap();
+        let plain = FactorizedStencil::new(sys, SolveOptions::default()).unwrap();
+        let nz = plain.system().operator().nz();
+        let cells: Vec<usize> = (0..4).map(|c| c * 37 * nz + nz - 1).collect();
+        let a = direct.influence_columns_seeded(&cells, 1e-8, &[]).unwrap();
+        let b = plain.influence_columns_seeded(&cells, 1e-8, &[]).unwrap();
+        for (col, ((ca, ia), (cb, ib))) in a.iter().zip(&b).enumerate() {
+            assert_eq!(ia, ib, "influence column {col}: iteration drift");
+            assert_bits_eq(&format!("influence column {col}"), ca, cb);
         }
     }
 }

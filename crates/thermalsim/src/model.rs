@@ -71,10 +71,13 @@ pub struct ModelMeta {
 /// The solver backend of a factorized model.
 #[derive(Debug)]
 enum Backend {
-    /// Structured stencil matvec + geometric multigrid PCG.
-    Stencil(FactorizedStencil),
+    /// Structured stencil matvec + geometric multigrid PCG. Both
+    /// variants are boxed: the factorizations are hundreds of bytes of
+    /// inline state and the enum would otherwise carry the larger one
+    /// everywhere.
+    Stencil(Box<FactorizedStencil>),
     /// General CSR + MIC(0) PCG (fallback and cross-check oracle).
-    Csr(FactorizedCircuit),
+    Csr(Box<FactorizedCircuit>),
 }
 
 /// The geometry-dependent half of a thermal solve, computed once: the
@@ -131,7 +134,7 @@ impl FactorizedThermalModel {
         // the other one's build cost (notably ~150k interned node names
         // for a 128×128×9 circuit) is never paid.
         let emit = match config.solver {
-            SolverKind::Auto | SolverKind::Stencil => EmitSystem::Stencil,
+            SolverKind::Auto | SolverKind::Stencil | SolverKind::Spectral => EmitSystem::Stencil,
             SolverKind::Csr => EmitSystem::Circuit,
         };
         let network = build_geometry(nx, ny, die, &config.stack, emit)?;
@@ -141,17 +144,25 @@ impl FactorizedThermalModel {
             ..Default::default()
         };
         let backend = match config.solver {
-            SolverKind::Auto | SolverKind::Stencil => Backend::Stencil(
-                FactorizedStencil::new(network.stencil.expect("stencil system emitted"), options)
-                    .map_err(ThermalError::Solve)?,
-            ),
-            SolverKind::Csr => Backend::Csr(
+            SolverKind::Csr => Backend::Csr(Box::new(
                 network
                     .circuit
                     .expect("circuit emitted")
                     .factorize(options)
                     .map_err(ThermalError::Solve)?,
-            ),
+            )),
+            kind => {
+                let sys = network.stencil.expect("stencil system emitted");
+                // Auto composes the tiers: spectral direct when the
+                // stack qualifies, multigrid otherwise. Forced `Stencil`
+                // stays the spectral-free drift oracle.
+                let factored = if kind == SolverKind::Stencil {
+                    FactorizedStencil::new(sys, options)
+                } else {
+                    FactorizedStencil::with_spectral(sys, options)
+                };
+                Backend::Stencil(Box::new(factored.map_err(ThermalError::Solve)?))
+            }
         };
         Ok(FactorizedThermalModel {
             config: config.clone(),
@@ -184,6 +195,7 @@ impl FactorizedThermalModel {
     /// Human-readable name of the active solver backend.
     pub fn solver_name(&self) -> &'static str {
         match &self.backend {
+            Backend::Stencil(f) if f.spectral_direct() => "spectral-dct",
             Backend::Stencil(_) => "stencil-multigrid",
             Backend::Csr(_) => "csr-mic0",
         }
@@ -453,6 +465,52 @@ mod tests {
         let b = stencil.solve(&p).unwrap();
         for ((_, x), (_, y)) in a.grid().iter().zip(b.grid().iter()) {
             assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn spectral_backend_matches_the_multigrid_oracle() {
+        // The generated stacks are laterally homogeneous, so Auto (and
+        // the explicit Spectral kind) take the DCT direct tier; forced
+        // Stencil remains the spectral-free oracle it must track to
+        // within the CI drift budget — square and nx≠ny meshes, random
+        // power maps.
+        for (nx, ny) in [(12usize, 12usize), (16, 10)] {
+            let config = ThermalConfig::with_resolution(nx, ny);
+            let auto = FactorizedThermalModel::build(&config, die()).unwrap();
+            assert_eq!(auto.solver_name(), "spectral-dct", "{nx}x{ny}");
+            assert!(auto.is_structured());
+            let forced = FactorizedThermalModel::build(
+                &config.clone().with_solver(SolverKind::Spectral),
+                die(),
+            )
+            .unwrap();
+            assert_eq!(forced.solver_name(), "spectral-dct");
+            let oracle =
+                FactorizedThermalModel::build(&config.with_solver(SolverKind::Stencil), die())
+                    .unwrap();
+            assert_eq!(oracle.solver_name(), "stencil-multigrid");
+            for seed in 0..3u64 {
+                let mut p = Grid2d::new(nx, ny, die(), 0.0);
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        // Deterministic pseudo-random power in [0, 4e-4).
+                        let h = (seed * 1_000_003)
+                            .wrapping_add((iy * nx + ix) as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        *p.get_mut(ix, iy) = (h >> 40) as f64 / (1u64 << 24) as f64 * 4e-4;
+                    }
+                }
+                let a = auto.solve(&p).unwrap();
+                let f = forced.solve(&p).unwrap();
+                let o = oracle.solve(&p).unwrap();
+                for (((_, x), (_, y)), (_, w)) in
+                    a.grid().iter().zip(f.grid().iter()).zip(o.grid().iter())
+                {
+                    assert_eq!(x.to_bits(), y.to_bits(), "Auto and Spectral agree exactly");
+                    assert!((x - w).abs() <= 1e-6, "{nx}x{ny} seed {seed}: {x} vs {w}");
+                }
+            }
         }
     }
 

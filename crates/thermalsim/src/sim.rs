@@ -31,14 +31,22 @@ impl Default for GridSpec {
 /// path against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum SolverKind {
-    /// Structured stencil + geometric multigrid when the network is a
-    /// pure grid (always, today), CSR otherwise.
+    /// Structured stencil when the network is a pure grid (always,
+    /// today), CSR otherwise. The stencil backend additionally takes the
+    /// spectral (DCT) direct tier whenever the stack qualifies — the
+    /// common laterally-homogeneous case — so `Auto` behaves like
+    /// [`SolverKind::Spectral`] with automatic fallback.
     #[default]
     Auto,
-    /// Force the structured stencil + geometric-multigrid path.
+    /// Force the structured stencil + geometric-multigrid path (no
+    /// spectral tier) — the CI-gated drift oracle for the spectral path.
     Stencil,
     /// Force the general CSR + MIC(0)-preconditioned path.
     Csr,
+    /// Prefer the spectral (DCT + per-mode Thomas) direct solver for
+    /// laterally homogeneous stacks, falling back to multigrid with a
+    /// spectral coarse-grid solve when the geometry does not qualify.
+    Spectral,
 }
 
 /// Full thermal-simulation configuration.
@@ -115,6 +123,7 @@ impl ThermalConfig {
             SolverKind::Auto => 0,
             SolverKind::Stencil => 1,
             SolverKind::Csr => 2,
+            SolverKind::Spectral => 3,
         });
         h.write_f64(self.stack.h_bottom_w_m2k);
         h.write_f64(self.stack.h_top_w_m2k);
